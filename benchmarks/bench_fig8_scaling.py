@@ -1,0 +1,60 @@
+"""Figure 8: weak scaling of the HPL score from 1 to 128 Crusher nodes.
+
+Regenerates the paper's sweep (square-or-2:1 grids, 1x8 node-local grids
+once Q >= 8, N scaled to fill HBM, NB = 512, 50-50 split) and asserts its
+claims: >90 % weak-scaling efficiency at 128 nodes and a final score in
+the neighborhood of the measured 17.75 PFLOPS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.report import format_scaling_table
+from repro.perf.scaling import weak_scaling, weak_scaling_efficiency
+
+from .conftest import write_artifact
+
+NODE_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def points():
+    return weak_scaling(NODE_COUNTS)
+
+
+def test_fig8_series(benchmark, points, artifact_dir):
+    fresh = benchmark.pedantic(
+        weak_scaling, args=(NODE_COUNTS,), rounds=1, iterations=1
+    )
+    write_artifact("fig8_weak_scaling.txt", format_scaling_table(fresh))
+    assert [p.nnodes for p in fresh] == NODE_COUNTS
+
+
+def test_fig8_efficiency_above_ninety_percent(points):
+    """'over 90% weak-scaling efficiency from the single node score ...
+    to the score on 128 nodes.'"""
+    effs = weak_scaling_efficiency(points)
+    assert all(e > 0.90 for e in effs)
+
+
+def test_fig8_final_score_near_paper(points):
+    """Paper: 17.75 PFLOPS at 128 nodes (from a 153 TFLOPS single node)."""
+    final = points[-1]
+    assert final.nnodes == 128
+    assert 14_000 <= final.tflops <= 22_000
+
+    single = points[0]
+    assert 140 <= single.tflops <= 170  # paper: 153
+
+
+def test_fig8_score_monotone_in_nodes(points):
+    scores = [p.tflops for p in points]
+    assert scores == sorted(scores)
+
+
+def test_fig8_grid_policy_matches_paper(points):
+    """Square or 2:1 grids; 1x8 node-local once Q >= 8."""
+    for pt in points:
+        assert pt.p == pt.q or pt.p == 2 * pt.q
+    assert (points[-1].p, points[-1].q) == (32, 32)

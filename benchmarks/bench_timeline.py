@@ -1,0 +1,100 @@
+"""Figures 3 and 6: the iteration execution timelines.
+
+The paper's timeline diagrams make structural claims about what overlaps
+what; these benches build the corresponding DAGs with realistic costs from
+the ledger, execute them on the event engine, and assert the claims:
+
+* Fig. 3 (look-ahead): transfers, FACT and LBCAST hide behind the trailing
+  update; the RS communication does not.
+* Fig. 6 (split update): every phase hides -- iteration time equals GPU
+  busy time.
+
+Also benchmarks the raw event-engine throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Schedule
+from repro.machine.frontier import crusher_cluster
+from repro.perf.ledger import PerfConfig, run_costs
+from repro.sched.engine import Task, simulate
+from repro.sched.timeline import build_run
+
+from .conftest import write_artifact
+
+CLUSTER = crusher_cluster(1)
+
+
+def _gantt(result, tag: int) -> str:
+    lines = [f"{'task':<20s}{'res':>5s}{'start_ms':>10s}{'end_ms':>10s}"]
+    for t in sorted(result.tasks_tagged(tag), key=lambda t: t.start):
+        lines.append(
+            f"{t.name:<20s}{t.resource or '-':>5s}"
+            f"{t.start * 1e3:>10.2f}{t.end * 1e3:>10.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig3_lookahead_timeline(benchmark, artifact_dir):
+    """An early look-ahead iteration: only RS comm extends past GPU work."""
+    cfg = PerfConfig(
+        n=256_000, nb=512, p=4, q=2, pl=4, ql=2, schedule=Schedule.LOOKAHEAD
+    )
+    costs = run_costs(cfg, CLUSTER)
+    result = benchmark.pedantic(
+        lambda: simulate(build_run(costs)), rounds=1, iterations=1
+    )
+    k = 5  # steady-state early iteration
+    write_artifact("fig3_lookahead_gantt.txt", _gantt(result, k))
+    start, end = result.span_of_tag(k)
+    gpu_busy = result.busy_in_tag(k, "gpu")
+    fact = result.phase_in_tag(k, "FACT")
+    by_name = {t.name: t for t in result.tasks_tagged(k)}
+    rs_comm = by_name[f"rs.comm.{k}"].duration
+    # FACT is fully overlapped by the trailing update...
+    assert end - start < gpu_busy + fact
+    # ...but the RS communication is exposed (the Fig. 3 idle gap).
+    assert end - start >= gpu_busy + rs_comm * 0.9
+
+
+def test_fig6_split_timeline(benchmark, artifact_dir):
+    """An early split-update iteration: everything hides behind the GPU."""
+    cfg = PerfConfig(n=256_000, nb=512, p=4, q=2, pl=4, ql=2)
+    costs = run_costs(cfg, CLUSTER)
+    result = benchmark.pedantic(
+        lambda: simulate(build_run(costs)), rounds=1, iterations=1
+    )
+    k = 5
+    write_artifact("fig6_split_gantt.txt", _gantt(result, k))
+    start, end = result.span_of_tag(k)
+    gpu_busy = result.busy_in_tag(k, "gpu")
+    assert end - start == pytest.approx(gpu_busy, rel=0.02)
+    # RS1 ran inside the UPDATE2 window; RS2 inside UPDATE1's.
+    by_name = {t.name: t for t in result.tasks_tagged(k)}
+    u2 = by_name[f"dgemm.right.{k}"]
+    rs1 = by_name[f"rs1.comm.{k}"]
+    assert rs1.end <= u2.end + 1e-9
+    u1 = by_name[f"dgemm.left.{k}"]
+    rs2 = by_name[f"rs2.comm.{k}"]
+    assert rs2.end <= u1.end + 1e-9
+
+
+def test_engine_throughput(benchmark):
+    """Raw list-scheduling speed: a 50k-task chain across 4 resources."""
+
+    def build_and_run():
+        tasks = []
+        prev = None
+        for i in range(50_000):
+            t = Task(
+                f"t{i}", 1e-6, ("gpu", "cpu", "mpi", "hd")[i % 4],
+                deps=[prev] if prev is not None and i % 3 == 0 else [],
+            )
+            tasks.append(t)
+            prev = t
+        return simulate(tasks).makespan
+
+    makespan = benchmark(build_and_run)
+    assert makespan > 0

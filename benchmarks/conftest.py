@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or a set of
+reported numbers), asserts the *shape* claims hold, and writes the
+regenerated series to ``benchmarks/out/`` so the artifacts can be
+compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, content: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(content)

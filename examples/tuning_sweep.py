@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Tuning ablations: the NB trade-off, the split fraction, and schedules.
+
+The paper discusses three tuning decisions for Frontier-class nodes:
+
+* **NB = 512** balances DGEMM efficiency (large NB) against overlap
+  granularity and FACT/RS cost (small NB);
+* the **split fraction** should make the right section just large enough
+  to hide FACT + LBCAST + RS1 (50 % works best on one node);
+* the **schedule** itself: classic < look-ahead < split update.
+
+This example sweeps all three on the calibrated single-node model.
+
+Usage::
+
+    python examples/tuning_sweep.py
+"""
+
+from repro.config import Schedule
+from repro.machine.frontier import crusher_cluster
+from repro.perf.hplsim import simulate_run
+from repro.perf.ledger import PerfConfig
+
+N = 256_000
+CLUSTER = crusher_cluster(1)
+
+
+def sweep_nb() -> None:
+    print("=== NB sweep (paper: 512 balances DGEMM rate vs overlap) ===")
+    print(f"{'NB':>6s} {'TFLOPS':>8s} {'hidden%':>8s}")
+    for nb in (128, 256, 512, 1024, 2048):
+        cfg = PerfConfig(n=(N // nb) * nb, nb=nb, p=4, q=2, pl=4, ql=2)
+        report = simulate_run(cfg, CLUSTER)
+        print(f"{nb:>6d} {report.score_tflops:>8.1f} "
+              f"{report.hidden_time_fraction * 100:>8.1f}")
+    print()
+
+
+def sweep_split_fraction() -> None:
+    print("=== Split-fraction sweep (paper: 50-50 optimal on one node) ===")
+    print(f"{'frac':>6s} {'TFLOPS':>8s} {'hidden%':>8s}")
+    for frac in (0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9):
+        cfg = PerfConfig(
+            n=N, nb=512, p=4, q=2, pl=4, ql=2, split_fraction=frac
+        )
+        report = simulate_run(cfg, CLUSTER)
+        print(f"{frac:>6.2f} {report.score_tflops:>8.1f} "
+              f"{report.hidden_time_fraction * 100:>8.1f}")
+    print()
+
+
+def sweep_schedule() -> None:
+    print("=== Schedule ablation ===")
+    print(f"{'schedule':>12s} {'TFLOPS':>8s} {'hidden%':>8s}")
+    for sched in Schedule:
+        cfg = PerfConfig(n=N, nb=512, p=4, q=2, pl=4, ql=2, schedule=sched)
+        report = simulate_run(cfg, CLUSTER)
+        print(f"{sched.value:>12s} {report.score_tflops:>8.1f} "
+              f"{report.hidden_time_fraction * 100:>8.1f}")
+    print()
+
+
+def sweep_local_grid() -> None:
+    print("=== Node-local grid (Sec. III.B: more columns => more sharing) ===")
+    print(f"{'grid':>6s} {'T':>4s} {'TFLOPS':>8s}")
+    from repro.perf.ledger import time_sharing_threads
+
+    for pl, ql in ((8, 1), (4, 2), (2, 4), (1, 8)):
+        cfg = PerfConfig(n=N, nb=512, p=pl, q=ql, pl=pl, ql=ql)
+        report = simulate_run(cfg, CLUSTER)
+        threads = time_sharing_threads(64, pl, ql)
+        print(f"{pl}x{ql:<4d} {threads:>4d} {report.score_tflops:>8.1f}")
+    print()
+
+
+if __name__ == "__main__":
+    sweep_nb()
+    sweep_split_fraction()
+    sweep_schedule()
+    sweep_local_grid()

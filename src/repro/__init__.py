@@ -1,0 +1,60 @@
+"""pyroHPL: a Python reproduction of rocHPL (SC 2023).
+
+This package reproduces "Optimizing High-Performance Linpack for Exascale
+Accelerated Architectures" (Chalmers, Kurzak, McDougall, Bauman; SC 2023):
+AMD's rocHPL benchmark design for the Frontier/Crusher node architecture.
+
+Layers:
+
+* :mod:`repro.simmpi` -- in-process SPMD runtime with MPI-like semantics
+  (the substitute for Cray MPICH on real hardware).
+* :mod:`repro.grid` -- 2D process grids and block-cyclic distribution math.
+* :mod:`repro.blas` -- BLAS kernel layer with flop accounting and the tiled
+  multi-threaded panel kernels of the paper's Section III.A.
+* :mod:`repro.hpl` -- the numeric HPL benchmark: distributed blocked LU with
+  partial pivoting, panel broadcast variants, scatterv/allgatherv row
+  swapping, look-ahead and split-update schedules, backsolve, verification.
+* :mod:`repro.machine` -- calibrated hardware models of the Crusher node
+  (MI250X DGEMM curves, Infinity Fabric / NIC alpha-beta links, CPU FACT
+  model).
+* :mod:`repro.sched` -- discrete-event timeline simulator executing the
+  iteration DAGs of the paper's Figures 3 and 6.
+* :mod:`repro.perf` -- benchmark-level performance simulation regenerating
+  the paper's Figures 5, 7 and 8 and headline numbers.
+* :mod:`repro.binding` -- the CPU core time-sharing computation of
+  Section III.B.
+
+Quickstart::
+
+    from repro import HPLConfig, run_hpl
+
+    result = run_hpl(HPLConfig(n=512, nb=64, p=2, q=2))
+    print(result.resid, result.passed)
+"""
+
+from .config import BcastVariant, HPLConfig, PFactVariant, Schedule
+from .errors import ReproError, VerificationError
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy so that `import repro.simmpi` etc. never pulls the whole stack.
+    if name in ("HPLResult", "run_hpl", "run_hpl_dat"):
+        from .hpl import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "HPLConfig",
+    "PFactVariant",
+    "BcastVariant",
+    "Schedule",
+    "HPLResult",
+    "run_hpl",
+    "run_hpl_dat",
+    "ReproError",
+    "VerificationError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""CPU core time-sharing (paper Section III.B).
+
+:mod:`repro.binding.topology` models the Crusher node's CCD/GCD affinity;
+:mod:`repro.binding.coremap` implements the binding computation rocHPL's
+launch wrapper performs: root cores per rank, the shared pool partitioned
+by process row, and the resulting per-rank OpenMP placements.
+"""
+
+from .coremap import Binding, compute_bindings, validate_bindings
+from .topology import NodeTopology, crusher_topology
+
+__all__ = [
+    "Binding",
+    "compute_bindings",
+    "validate_bindings",
+    "NodeTopology",
+    "crusher_topology",
+]

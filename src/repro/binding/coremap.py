@@ -1,0 +1,200 @@
+"""The Section III.B core time-sharing computation.
+
+For a node-local ``pl x ql`` process grid on a ``C``-core socket, rocHPL's
+launch wrapper computes OpenMP placements so every FACT phase can use
+``pl + Cbar`` cores (``Cbar = C - pl*ql``):
+
+1. every rank is bound to a distinct *root core* inside the CCD nearest
+   the GCD it manages;
+2. the remaining ``Cbar`` cores form a pool, partitioned into ``pl``
+   non-overlapping groups of ``Cbar / pl``, one per local process **row**
+   (rows, because at any iteration exactly one process *column* factors,
+   so ranks that could factor simultaneously sit in different rows and
+   must not share cores -- while ranks in the same row never factor at
+   the same time and may);
+3. each rank binds ``T = 1 + Cbar/pl`` threads: its root plus its row's
+   pool group.
+
+In the ``pl x 1`` extreme this degenerates to a plain partition of the
+socket; in the ``1 x ql`` extreme sharing is maximal, which is why the
+paper's multi-node runs pick ``1 x 8`` node-local grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .topology import NodeTopology, crusher_topology
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One rank's core placement.
+
+    Attributes:
+        rank: Node-local rank (also the GCD it manages).
+        row: Local grid row.
+        col: Local grid column.
+        root_core: The rank's dedicated core.
+        pool_cores: Its process row's shared pool group.
+    """
+
+    rank: int
+    row: int
+    col: int
+    root_core: int
+    pool_cores: tuple[int, ...]
+
+    @property
+    def nthreads(self) -> int:
+        """OpenMP threads this rank spawns in FACT (``1 + Cbar/pl``)."""
+        return 1 + len(self.pool_cores)
+
+    @property
+    def cores(self) -> tuple[int, ...]:
+        return (self.root_core, *self.pool_cores)
+
+
+def compute_bindings(
+    pl: int, ql: int, topo: NodeTopology | None = None, row_major: bool = True
+) -> list[Binding]:
+    """Compute the time-sharing bindings for a ``pl x ql`` node-local grid.
+
+    Rank ``r`` manages GCD ``r`` and sits at local coordinates
+    ``(r // ql, r % ql)`` (row-major) or ``(r % pl, r // pl)``.
+    """
+    if topo is None:
+        topo = crusher_topology()
+    nranks = pl * ql
+    if nranks != topo.gpus:
+        raise ConfigError(
+            f"node-local grid {pl}x{ql} must match {topo.gpus} GPU devices"
+        )
+    if nranks > topo.cores:
+        raise ConfigError(f"{nranks} ranks exceed {topo.cores} cores")
+
+    coords = []
+    for rank in range(nranks):
+        if row_major:
+            coords.append(divmod(rank, ql))
+        else:
+            col, row = divmod(rank, pl)
+            coords.append((row, col))
+
+    # 1. root core: first core of the CCD nearest the managed GCD.
+    roots: list[int] = []
+    taken: set[int] = set()
+    for rank in range(nranks):
+        for core in topo.nearest_cores(rank):
+            if core not in taken:
+                roots.append(core)
+                taken.add(core)
+                break
+        else:
+            raise ConfigError(f"no free core in the CCD nearest GCD {rank}")
+
+    # 2. pool partition by process row, locality-first: a row's group is
+    # seeded with the non-root cores of its own ranks' CCDs.
+    cbar = topo.cores - nranks
+    group_size = cbar // pl
+    pool = [c for c in range(topo.cores) if c not in taken]
+    groups: list[list[int]] = [[] for _ in range(pl)]
+    remaining = set(pool)
+    for row in range(pl):
+        near = []
+        for rank in range(nranks):
+            if coords[rank][0] == row:
+                near.extend(c for c in topo.nearest_cores(rank) if c in remaining)
+        for core in near[:group_size]:
+            groups[row].append(core)
+            remaining.discard(core)
+    leftovers = sorted(remaining)
+    for row in range(pl):
+        while len(groups[row]) < group_size and leftovers:
+            groups[row].append(leftovers.pop(0))
+        groups[row].sort()
+
+    return [
+        Binding(
+            rank=rank,
+            row=coords[rank][0],
+            col=coords[rank][1],
+            root_core=roots[rank],
+            pool_cores=tuple(groups[coords[rank][0]]),
+        )
+        for rank in range(nranks)
+    ]
+
+
+def omp_places(binding: Binding) -> str:
+    """The ``OMP_PLACES`` string for one rank's binding.
+
+    This is what rocHPL's launch wrapper exports per rank: the root core
+    first (thread 0 stays on it), then the row's pool cores.
+    """
+    return ",".join(f"{{{core}}}" for core in binding.cores)
+
+
+def launch_script(bindings: list[Binding], command: str = "./rochpl") -> str:
+    """A runnable wrapper-script body exporting the per-rank bindings.
+
+    Mirrors the generic wrapper the paper describes ("we have implemented
+    a generic wrapper script to compute these OpenMP bindings"): a case
+    over the node-local rank setting ``OMP_NUM_THREADS``, ``OMP_PLACES``
+    and ``OMP_PROC_BIND`` before exec'ing the benchmark.
+    """
+    lines = [
+        "#!/bin/bash",
+        "# generated by pyroHPL: Section III.B core time-sharing bindings",
+        'rank="${SLURM_LOCALID:-${OMPI_COMM_WORLD_LOCAL_RANK:-0}}"',
+        'case "$rank" in',
+    ]
+    for b in bindings:
+        lines.append(f"  {b.rank})")
+        lines.append(f"    export OMP_NUM_THREADS={b.nthreads}")
+        lines.append(f'    export OMP_PLACES="{omp_places(b)}"')
+        lines.append('    export OMP_PROC_BIND="true"')
+        lines.append("    ;;")
+    lines.append("esac")
+    lines.append(f'exec {command} "$@"')
+    return "\n".join(lines) + "\n"
+
+
+def validate_bindings(bindings: list[Binding], topo: NodeTopology | None = None) -> None:
+    """Check the Section III.B invariants; raises ``ConfigError`` on violation.
+
+    * root cores are distinct and disjoint from every pool group;
+    * pool groups of different rows are disjoint (simultaneously-factoring
+      ranks never share a core);
+    * ranks in the same row share the same group (that is the time
+      sharing);
+    * every FACT phase can use ``pl + Cbar`` cores in total.
+    """
+    if topo is None:
+        topo = crusher_topology()
+    roots = [b.root_core for b in bindings]
+    if len(set(roots)) != len(roots):
+        raise ConfigError("root cores are not distinct")
+    by_row: dict[int, tuple[int, ...]] = {}
+    for b in bindings:
+        if b.root_core in b.pool_cores:
+            raise ConfigError(f"rank {b.rank}: root core inside its pool group")
+        if b.row in by_row:
+            if by_row[b.row] != b.pool_cores:
+                raise ConfigError(f"row {b.row}: ranks disagree on the pool group")
+        else:
+            by_row[b.row] = b.pool_cores
+    rows = sorted(by_row)
+    for i in rows:
+        if set(by_row[i]) & set(roots):
+            raise ConfigError(f"row {i}: pool group overlaps a root core")
+        for j in rows:
+            if i < j and set(by_row[i]) & set(by_row[j]):
+                raise ConfigError(f"rows {i} and {j} share pool cores")
+    pl = len(rows)
+    nranks = len(bindings)
+    cbar = topo.cores - nranks
+    fact_cores = pl * (1 + cbar // pl)
+    if fact_cores > topo.cores:
+        raise ConfigError("FACT would use more cores than the socket has")

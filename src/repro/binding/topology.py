@@ -1,0 +1,63 @@
+"""Node topology: which CPU cores sit nearest which GPU device.
+
+On Crusher/Frontier each of the 8 GCDs has a *closest* CCD (they share an
+Infinity Fabric connection), and rocHPL binds each rank's root core inside
+that CCD.  The mapping is not the identity: per the Crusher quick-start
+guide's node diagram, GCD ``i`` pairs with the CCDs in the order below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: CCD nearest each GCD on a Crusher/Frontier node (GCD index -> CCD index).
+CRUSHER_GCD_TO_CCD = (6, 7, 2, 3, 0, 1, 4, 5)
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """Core/CCD/GPU-device affinity of one node.
+
+    Attributes:
+        cores: Total CPU cores.
+        ccds: Number of CCDs (cores are split evenly).
+        gcd_to_ccd: For each GPU device, its nearest CCD.
+    """
+
+    cores: int = 64
+    ccds: int = 8
+    gcd_to_ccd: tuple[int, ...] = CRUSHER_GCD_TO_CCD
+
+    def __post_init__(self) -> None:
+        if self.cores % self.ccds:
+            raise ConfigError(f"{self.cores} cores do not tile {self.ccds} CCDs")
+        if any(not 0 <= c < self.ccds for c in self.gcd_to_ccd):
+            raise ConfigError("gcd_to_ccd references a CCD outside the socket")
+
+    @property
+    def gpus(self) -> int:
+        return len(self.gcd_to_ccd)
+
+    @property
+    def cores_per_ccd(self) -> int:
+        return self.cores // self.ccds
+
+    def ccd_cores(self, ccd: int) -> list[int]:
+        """Core ids of one CCD."""
+        if not 0 <= ccd < self.ccds:
+            raise ConfigError(f"CCD {ccd} outside [0, {self.ccds})")
+        w = self.cores_per_ccd
+        return list(range(ccd * w, (ccd + 1) * w))
+
+    def nearest_cores(self, gcd: int) -> list[int]:
+        """Core ids of the CCD nearest GPU device ``gcd``."""
+        if not 0 <= gcd < self.gpus:
+            raise ConfigError(f"GCD {gcd} outside [0, {self.gpus})")
+        return self.ccd_cores(self.gcd_to_ccd[gcd])
+
+
+def crusher_topology() -> NodeTopology:
+    """The Crusher/Frontier node topology."""
+    return NodeTopology()

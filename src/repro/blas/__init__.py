@@ -1,0 +1,42 @@
+"""BLAS kernel layer: flop-accounted kernels and the tiled thread pool.
+
+:mod:`repro.blas.kernels` provides the small set of dense kernels HPL needs
+(DGEMM, DTRSM, DGER, DSCAL, IDAMAX, unit-lower solves) with per-thread flop
+accounting so the numeric engine can report exactly how much arithmetic each
+phase performed -- the measured counterpart of the analytic ledger in
+:mod:`repro.perf.ledger`.
+
+:mod:`repro.blas.threaded` implements the paper's Section III.A threading
+strategy: a persistent pool whose workers own round-robined ``NB``-row tiles
+of the tall-skinny panel, with barrier-synchronized steps and a max-loc
+reduction for the pivot search.
+"""
+
+from .kernels import (
+    FLOPS,
+    dgemm_update,
+    dger_update,
+    dscal_inplace,
+    flops_dgemm,
+    flops_getrf,
+    flops_trsm,
+    idamax,
+    unit_lower_solve_inplace,
+    upper_solve,
+)
+from .threaded import TileWorkerPool, tile_slices
+
+__all__ = [
+    "FLOPS",
+    "dgemm_update",
+    "dger_update",
+    "dscal_inplace",
+    "idamax",
+    "unit_lower_solve_inplace",
+    "upper_solve",
+    "flops_dgemm",
+    "flops_trsm",
+    "flops_getrf",
+    "TileWorkerPool",
+    "tile_slices",
+]

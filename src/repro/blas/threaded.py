@@ -1,0 +1,214 @@
+"""Tiled thread pool for the multi-threaded panel factorization (paper III.A).
+
+The panel being LU-factored is tall and skinny (``M x NB``).  Following the
+paper (and the Parallel Cache Assignment technique it cites), the panel's
+rows are blocked into ``NB``-row tiles and tile ``t`` is owned by thread
+``t % T`` -- round-robin, so the first tile (which holds the upper triangle
+and all pivot-source rows) always belongs to the main thread.  Each thread
+touches only its own tiles, keeping them hot in the cache private to the
+core the thread is bound to.
+
+:class:`TileWorkerPool` provides the OpenMP-style execution model the
+factorization needs: a persistent parallel region (`run`) with reusable
+barriers, thread-local tile assignment, a broadcast cell and an all-thread
+reduction (used for the pivot max-loc search).  The main thread (tid 0) is
+the only one that talks to MPI, exactly as in rocHPL.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def tile_slices(nrows: int, tile: int, tid: int, nthreads: int) -> list[slice]:
+    """Row slices of the tiles owned by thread ``tid``.
+
+    Rows ``[0, nrows)`` are blocked into ``tile``-row tiles; tile ``t`` is
+    owned by thread ``t % nthreads``.  The final tile may be short.
+    """
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    if not 0 <= tid < nthreads:
+        raise ValueError(f"tid {tid} outside [0, {nthreads})")
+    out = []
+    ntiles = (nrows + tile - 1) // tile
+    for t in range(tid, ntiles, nthreads):
+        out.append(slice(t * tile, min((t + 1) * tile, nrows)))
+    return out
+
+
+class ParallelAbort(Exception):
+    """Internal: a sibling thread failed; unwind quietly."""
+
+
+class ParallelContext:
+    """Per-thread handle inside a :meth:`TileWorkerPool.run` region."""
+
+    def __init__(self, pool: "TileWorkerPool", tid: int):
+        self.pool = pool
+        self.tid = tid
+        self.nthreads = pool.nthreads
+
+    def barrier(self) -> None:
+        """Synchronize all threads of the region."""
+        if self.nthreads == 1:
+            return
+        try:
+            self.pool._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise ParallelAbort() from None
+
+    def bcast(self, obj: T | None = None, root: int = 0) -> T:
+        """Broadcast ``obj`` from thread ``root`` to every thread."""
+        if self.nthreads == 1:
+            return obj  # type: ignore[return-value]
+        if self.tid == root:
+            self.pool._cell = obj
+        self.barrier()
+        result = self.pool._cell
+        self.barrier()  # nobody reuses the cell until all have read it
+        return result  # type: ignore[return-value]
+
+    def reduce(self, value: T, combine: Callable[[T, T], T]) -> T:
+        """All-thread reduction; every thread returns the combined value.
+
+        The combination order is deterministic (tid order), so
+        non-commutative tie-breaking combiners -- like the pivot max-loc --
+        give every thread the same answer.
+        """
+        if self.nthreads == 1:
+            return value
+        self.pool._slots[self.tid] = value
+        self.barrier()
+        result = functools.reduce(combine, self.pool._slots)
+        self.barrier()
+        return result
+
+    def tile_slices(self, nrows: int, tile: int) -> list[slice]:
+        """This thread's round-robin tile slices over ``nrows`` rows."""
+        return tile_slices(nrows, tile, self.tid, self.nthreads)
+
+
+class TileWorkerPool:
+    """A persistent pool executing OpenMP-style parallel regions.
+
+    The pool owns ``nthreads - 1`` worker threads; the caller of
+    :meth:`run` participates as thread 0 (the "main thread" in the paper's
+    terminology).  Workers persist across regions, like an OpenMP runtime's
+    thread team, so per-panel invocation cost is two barrier crossings.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, nthreads: int):
+        if nthreads < 1:
+            raise ValueError(f"nthreads must be >= 1, got {nthreads}")
+        self.nthreads = nthreads
+        self._barrier = threading.Barrier(nthreads) if nthreads > 1 else None
+        self._slots: list[Any] = [None] * nthreads
+        self._cell: Any = None
+        self._fn: Callable[[ParallelContext], Any] | None = None
+        self._gen = 0
+        self._lock = threading.Lock()
+        self._go = threading.Condition(self._lock)
+        self._done = threading.Barrier(nthreads) if nthreads > 1 else None
+        self._stop = False
+        self._errors: dict[int, BaseException] = {}
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._started or self.nthreads == 1:
+            return
+        self._started = True
+        for tid in range(1, self.nthreads):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(tid,), name=f"pfact-worker-{tid}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self, tid: int) -> None:
+        last_gen = 0
+        while True:
+            with self._go:
+                while self._gen == last_gen and not self._stop:
+                    self._go.wait()
+                if self._stop:
+                    return
+                last_gen = self._gen
+                fn = self._fn
+            try:
+                assert fn is not None
+                fn(ParallelContext(self, tid))
+            except ParallelAbort:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - reported to run()
+                self._errors[tid] = exc
+                if self._barrier is not None:
+                    self._barrier.abort()
+            finally:
+                try:
+                    assert self._done is not None
+                    self._done.wait()
+                except threading.BrokenBarrierError:
+                    pass
+
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[[ParallelContext], T]) -> T:
+        """Execute ``fn(ctx)`` on all ``nthreads`` threads; return tid 0's result.
+
+        Any exception raised by any thread is re-raised here (the first
+        one in tid order), after all threads have left the region.
+        """
+        if self.nthreads == 1:
+            return fn(ParallelContext(self, 0))
+        self._ensure_workers()
+        self._errors.clear()
+        assert self._barrier is not None and self._done is not None
+        self._barrier.reset()
+        self._done.reset()
+        with self._go:
+            self._fn = fn
+            self._gen += 1
+            self._go.notify_all()
+        result: T | None = None
+        try:
+            result = fn(ParallelContext(self, 0))
+        except ParallelAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            self._errors[0] = exc
+            self._barrier.abort()
+        finally:
+            try:
+                self._done.wait()
+            except threading.BrokenBarrierError:
+                pass
+        if self._errors:
+            raise self._errors[min(self._errors)]
+        return result  # type: ignore[return-value]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent)."""
+        if not self._started:
+            return
+        with self._go:
+            self._stop = True
+            self._go.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "TileWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

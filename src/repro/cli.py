@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      -- execute the numeric HPL benchmark on the simulated-MPI
+                  runtime and verify the solution.
+* ``sim``      -- simulate a full-size run on the Crusher machine model
+                  and print the score + Fig. 7 breakdown.
+* ``scale``    -- the Fig. 8 weak-scaling sweep.
+* ``fact``     -- the Fig. 5 FACT multi-threading sweep.
+* ``bindings`` -- print the Section III.B core time-sharing map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import BcastVariant, HPLConfig, PFactVariant, Schedule
+
+
+def _add_grid_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-N", type=int, default=256, help="global problem size")
+    p.add_argument("-NB", type=int, default=32, help="blocking factor")
+    p.add_argument("-P", type=int, default=2, help="grid rows")
+    p.add_argument("-Q", type=int, default=2, help="grid columns")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .hpl.api import run_hpl
+    from .perf.report import format_hpl_line
+
+    cfg = HPLConfig(
+        n=args.N,
+        nb=args.NB,
+        p=args.P,
+        q=args.Q,
+        schedule=Schedule(args.schedule),
+        pfact=PFactVariant(args.pfact),
+        bcast=BcastVariant(args.bcast),
+        split_fraction=args.frac,
+        fact_threads=args.threads,
+        depth=0 if args.schedule == "classic" else 1,
+    )
+    result = run_hpl(cfg)
+    print(
+        format_hpl_line(
+            cfg.n, cfg.nb, cfg.p, cfg.q, result.wall_seconds,
+            cfg.total_flops / result.wall_seconds / 1e12,
+        )
+    )
+    print(f"||Ax-b||_oo / (eps (||A||||x||+||b||) N) = {result.resid:.7f} "
+          f"...... {'PASSED' if result.passed else 'FAILED'}")
+    return 0 if result.passed else 1
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from .machine.frontier import crusher_cluster
+    from .perf.hplsim import simulate_run
+    from .perf.ledger import PerfConfig
+    from .perf.report import format_breakdown_table, format_run_report
+
+    cfg = PerfConfig(
+        n=args.N,
+        nb=args.NB,
+        p=args.P,
+        q=args.Q,
+        pl=args.pl or args.P,
+        ql=args.ql or args.Q,
+        schedule=Schedule(args.schedule),
+        split_fraction=args.frac,
+    )
+    nodes = (cfg.p // cfg.pl) * (cfg.q // cfg.ql)
+    report = simulate_run(cfg, crusher_cluster(nodes))
+    print(format_run_report(report))
+    if args.breakdown:
+        print(format_breakdown_table(report))
+    if args.chart:
+        from .perf.ascii_chart import fig7_chart
+
+        print(fig7_chart(report))
+    if args.trace:
+        from .perf.ledger import run_costs
+        from .sched.engine import simulate as _simulate
+        from .sched.timeline import build_run
+        from .sched.trace import write_chrome_trace
+
+        timeline = _simulate(build_run(run_costs(cfg, crusher_cluster(nodes))))
+        write_chrome_trace(timeline, args.trace)
+        print(f"chrome trace written to {args.trace} "
+              "(open in chrome://tracing or Perfetto)")
+    if args.energy:
+        from .machine.frontier import crusher_node
+        from .machine.power_model import energy_of_run
+
+        energy = energy_of_run(report, crusher_node(), node_count=nodes)
+        print(f"energy      : {energy.joules / 1e6:10.2f} MJ over {nodes} node(s)")
+        print(f"mean power  : {energy.mean_node_w:10.0f} W/node "
+              f"(peak {energy.peak_node_w:.0f} W)")
+        print(f"efficiency  : {energy.gflops_per_w:10.1f} GFLOPS/W")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from .perf.report import format_scaling_table
+    from .perf.scaling import weak_scaling
+
+    counts = [2**i for i in range(args.max_doublings + 1)]
+    points = weak_scaling(counts, n_single=args.N, nb=args.NB)
+    print(format_scaling_table(points))
+    if args.chart:
+        from .perf.ascii_chart import fig8_chart
+
+        print(fig8_chart(points))
+    return 0
+
+
+def _cmd_fact(args: argparse.Namespace) -> int:
+    from .perf.factsim import fact_sweep
+    from .perf.report import format_fact_table
+
+    curves = fact_sweep(nb=args.NB)
+    print(format_fact_table(curves))
+    if args.chart:
+        from .perf.ascii_chart import fig5_chart
+
+        print(fig5_chart(curves))
+    return 0
+
+
+def _cmd_dat(args: argparse.Namespace) -> int:
+    """Run every configuration an HPL.dat file describes, HPL-style."""
+    import pathlib
+
+    from .hpl.api import run_hpl
+    from .hpl.dat import encode_tv, parse_hpl_dat
+    from .perf.report import (
+        format_hpl_banner,
+        format_hpl_footer,
+        format_hpl_result_block,
+    )
+
+    dat = parse_hpl_dat(pathlib.Path(args.file).read_text())
+    chunks = [format_hpl_banner()]
+    nruns = nfailed = 0
+    for cfg in dat.configs():
+        result = run_hpl(cfg)
+        nruns += 1
+        nfailed += 0 if result.passed else 1
+        tflops = cfg.total_flops / result.wall_seconds / 1e12
+        chunks.append(
+            format_hpl_result_block(
+                encode_tv(cfg), cfg.n, cfg.nb, cfg.p, cfg.q,
+                result.wall_seconds, tflops, result.resid, result.passed,
+                threshold=dat.threshold,
+            )
+        )
+    chunks.append(format_hpl_footer(nruns, nfailed))
+    text = "\n".join(chunks)
+    print(text)
+    if args.output:
+        out = args.output if args.output != "-" else dat.output_file
+        pathlib.Path(out).write_text(text)
+        print(f"results written to {out}")
+    return 0 if nfailed == 0 else 1
+
+
+def _cmd_bindings(args: argparse.Namespace) -> int:
+    from .binding import compute_bindings, crusher_topology, validate_bindings
+
+    topo = crusher_topology()
+    bindings = compute_bindings(args.pl, args.ql, topo)
+    validate_bindings(bindings, topo)
+    print(f"node-local grid {args.pl}x{args.ql}: "
+          f"T = {bindings[0].nthreads} threads per rank in FACT")
+    for b in bindings:
+        pool = ",".join(str(c) for c in b.pool_cores)
+        print(f"rank {b.rank} (row {b.row}, col {b.col}): "
+              f"root core {b.root_core}; pool [{pool}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="pyroHPL: rocHPL reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="numeric HPL run on simulated MPI")
+    _add_grid_args(p_run)
+    p_run.add_argument("--schedule", choices=[s.value for s in Schedule],
+                       default="split")
+    p_run.add_argument("--pfact", choices=[v.value for v in PFactVariant],
+                       default="right")
+    p_run.add_argument("--bcast", choices=[b.value for b in BcastVariant],
+                       default="1ringM")
+    p_run.add_argument("--frac", type=float, default=0.5,
+                       help="split-update right-section fraction")
+    p_run.add_argument("--threads", type=int, default=1,
+                       help="FACT threads per rank")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sim = sub.add_parser("sim", help="performance simulation (Fig. 7)")
+    _add_grid_args(p_sim)
+    p_sim.set_defaults(N=256000, NB=512, P=4, Q=2)
+    p_sim.add_argument("--pl", type=int, default=0, help="node-local grid rows")
+    p_sim.add_argument("--ql", type=int, default=0, help="node-local grid cols")
+    p_sim.add_argument("--schedule", choices=[s.value for s in Schedule],
+                       default="split")
+    p_sim.add_argument("--frac", type=float, default=0.5)
+    p_sim.add_argument("--breakdown", action="store_true",
+                       help="print the per-iteration Fig. 7 table")
+    p_sim.add_argument("--chart", action="store_true",
+                       help="render Fig. 7 as an ASCII chart")
+    p_sim.add_argument("--energy", action="store_true",
+                       help="print the run's energy/power accounting")
+    p_sim.add_argument("--trace", metavar="FILE", default="",
+                       help="write the simulated timeline as a Chrome trace")
+    p_sim.set_defaults(fn=_cmd_sim)
+
+    p_scale = sub.add_parser("scale", help="weak scaling sweep (Fig. 8)")
+    p_scale.add_argument("-N", type=int, default=256000,
+                         help="single-node problem size")
+    p_scale.add_argument("-NB", type=int, default=512)
+    p_scale.add_argument("--max-doublings", type=int, default=7,
+                         help="scale to 2^k nodes")
+    p_scale.add_argument("--chart", action="store_true",
+                         help="render Fig. 8 as an ASCII chart")
+    p_scale.set_defaults(fn=_cmd_scale)
+
+    p_fact = sub.add_parser("fact", help="FACT threading sweep (Fig. 5)")
+    p_fact.add_argument("-NB", type=int, default=512)
+    p_fact.add_argument("--chart", action="store_true",
+                        help="render Fig. 5 as an ASCII chart")
+    p_fact.set_defaults(fn=_cmd_fact)
+
+    p_dat = sub.add_parser("dat", help="run every config in an HPL.dat file")
+    p_dat.add_argument("file", help="path to an HPL.dat input file")
+    p_dat.add_argument("-o", "--output", default="",
+                       help="also write results to a file "
+                            "('-' = the name from the .dat file)")
+    p_dat.set_defaults(fn=_cmd_dat)
+
+    p_bind = sub.add_parser("bindings", help="core time-sharing map (Sec. III.B)")
+    p_bind.add_argument("--pl", type=int, default=4)
+    p_bind.add_argument("--ql", type=int, default=2)
+    p_bind.set_defaults(fn=_cmd_bindings)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `head`) went away; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Exception hierarchy for pyroHPL.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all pyroHPL errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An :class:`~repro.config.HPLConfig` (or machine spec) is invalid."""
+
+
+class CommError(ReproError):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class DeadlockError(CommError):
+    """A blocking receive waited longer than the fabric watchdog allows.
+
+    In a correctly written SPMD program every receive is eventually
+    matched; a watchdog timeout almost always indicates a communication
+    mismatch (wrong tag, wrong peer, or a rank that exited early).
+    """
+
+
+class AbortError(CommError):
+    """The fabric was aborted because a peer rank raised an exception.
+
+    Raised inside still-running ranks so the whole SPMD job unwinds
+    instead of deadlocking on messages the dead rank will never send.
+    """
+
+
+class TruncationError(CommError):
+    """A message was received into a buffer smaller than the payload."""
+
+
+class SpmdError(ReproError):
+    """One or more ranks of an SPMD job raised; wraps the rank errors."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"SPMD job failed on rank(s) {ranks}: {type(first).__name__}: {first}"
+        )
+
+
+class VerificationError(ReproError):
+    """The HPL residual test failed (the computed solution is wrong)."""
+
+
+class SingularMatrixError(ReproError):
+    """A zero pivot was encountered during panel factorization."""
+
+
+class ScheduleError(ReproError):
+    """The discrete-event timeline simulator was given an invalid DAG."""

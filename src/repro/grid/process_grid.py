@@ -1,0 +1,99 @@
+"""The ``P x Q`` process grid (paper Fig. 1).
+
+Binds a communicator of exactly ``p * q`` ranks to grid coordinates and
+builds the two sub-communicators HPL's phases run over:
+
+* ``col_comm`` -- the *process column* (``p`` ranks sharing a grid column):
+  panel factorization pivot collectives and row-swap scatterv/allgatherv.
+* ``row_comm`` -- the *process row* (``q`` ranks sharing a grid row): the
+  panel broadcast (LBCAST).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..simmpi import Communicator
+from .block_cyclic import numroc, owning_process
+
+
+class ProcessGrid:
+    """A rank's view of the 2D process grid.
+
+    Args:
+        comm: Communicator containing exactly ``p * q`` ranks.
+        p: Grid rows.
+        q: Grid columns.
+        row_major: When true (HPL.dat ``PMAP=Row-major``, the default), rank
+            ``r`` sits at ``(r // q, r % q)``; otherwise column-major
+            ``(r % p, r // p)``.
+    """
+
+    def __init__(self, comm: Communicator, p: int, q: int, row_major: bool = True):
+        if p < 1 or q < 1:
+            raise ConfigError(f"grid must be at least 1x1, got {p}x{q}")
+        if comm.size != p * q:
+            raise ConfigError(
+                f"grid {p}x{q} needs {p * q} ranks, communicator has {comm.size}"
+            )
+        self.comm = comm
+        self.p = p
+        self.q = q
+        self.row_major = row_major
+        if row_major:
+            self.myrow, self.mycol = divmod(comm.rank, q)
+        else:
+            self.mycol, self.myrow = divmod(comm.rank, p)
+        # Ranks within each sub-communicator are ordered by the other
+        # coordinate, so col_comm rank == grid row and row_comm rank == grid
+        # column.  Both splits are collective over `comm`.
+        row_comm = comm.split(color=self.myrow, key=self.mycol)
+        col_comm = comm.split(color=self.mycol, key=self.myrow)
+        assert row_comm is not None and col_comm is not None
+        self.row_comm = row_comm
+        self.col_comm = col_comm
+        assert self.row_comm.size == q and self.row_comm.rank == self.mycol
+        assert self.col_comm.size == p and self.col_comm.rank == self.myrow
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates of a rank of the grid communicator."""
+        if not 0 <= rank < self.p * self.q:
+            raise ConfigError(f"rank {rank} outside grid of {self.p * self.q}")
+        if self.row_major:
+            return divmod(rank, self.q)
+        col, row = divmod(rank, self.p)
+        return row, col
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Grid-communicator rank at coordinates ``(row, col)``."""
+        if not (0 <= row < self.p and 0 <= col < self.q):
+            raise ConfigError(f"({row}, {col}) outside {self.p}x{self.q} grid")
+        return row * self.q + col if self.row_major else col * self.p + row
+
+    # ------------------------------------------------------------------
+    # Distribution helpers bound to this rank
+    # ------------------------------------------------------------------
+    def local_rows(self, n: int, nb: int) -> int:
+        """Local row count of an ``n``-row matrix on this rank."""
+        return numroc(n, nb, self.myrow, self.p)
+
+    def local_cols(self, n: int, nb: int) -> int:
+        """Local column count of an ``n``-column matrix on this rank."""
+        return numroc(n, nb, self.mycol, self.q)
+
+    def row_owner(self, g: int, nb: int) -> int:
+        """Grid row owning global row ``g``."""
+        return owning_process(g, nb, self.p)
+
+    def col_owner(self, g: int, nb: int) -> int:
+        """Grid column owning global column ``g``."""
+        return owning_process(g, nb, self.q)
+
+    def owns_col_block(self, j: int, nb: int) -> bool:
+        """Does this rank's grid column own global column ``j``?"""
+        return self.col_owner(j, nb) == self.mycol
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessGrid({self.p}x{self.q}, me=({self.myrow},{self.mycol}), "
+            f"{'row' if self.row_major else 'col'}-major)"
+        )

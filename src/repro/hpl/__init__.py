@@ -1,0 +1,33 @@
+"""The numeric HPL benchmark: distributed blocked LU with partial pivoting.
+
+Module map (one module per phase, mirroring the paper's Section II):
+
+* :mod:`repro.hpl.rng` / :mod:`repro.hpl.matrix` -- reproducible
+  jump-ahead LCG matrix generation on the 2D block-cyclic distribution.
+* :mod:`repro.hpl.panel` / :mod:`repro.hpl.pfact` -- the FACT phase:
+  recursive panel factorization (left-/Crout/right-looking leaves) with the
+  replicated-triangle pivot exchange, optionally multi-threaded over
+  round-robined row tiles (paper III.A).
+* :mod:`repro.hpl.lbcast` -- the LBCAST phase: panel packing and the
+  ring-family broadcasts along process rows.
+* :mod:`repro.hpl.rowswap` -- the RS phase: net-permutation planning and
+  the scatterv + allgatherv row exchange building the replicated U.
+* :mod:`repro.hpl.update` -- the UPDATE phase: DTRSM + DGEMM trailing
+  update.
+* :mod:`repro.hpl.driver` -- the iteration schedules: classic, look-ahead
+  (Fig. 3) and split-update (Fig. 6).
+* :mod:`repro.hpl.backsolve` / :mod:`repro.hpl.verify` -- the distributed
+  triangular solve and the HPL residual acceptance test.
+* :mod:`repro.hpl.api` -- ``run_hpl``, the one-call entry point.
+"""
+
+__all__ = ["HPLResult", "run_hpl", "run_hpl_dat"]
+
+
+def __getattr__(name: str):
+    # Lazy: submodules are importable before the full stack exists.
+    if name in __all__:
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

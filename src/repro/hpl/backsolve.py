@@ -1,0 +1,83 @@
+"""Distributed backward substitution (HPL's ``pdtrsv``).
+
+After factorization the local matrix holds ``U`` on and above the global
+diagonal and the updated right-hand side ``b_hat = L^{-1} P b`` in the
+augmented column.  The solve walks the diagonal blocks backwards:
+
+1. the owner of diagonal block ``k`` receives the current residual segment
+   from the RHS-owning column (row-communicator point-to-point),
+2. solves the ``jb x jb`` upper-triangular system locally,
+3. broadcasts ``x_k`` grid-wide, and
+4. the block's process column computes its local pieces of
+   ``A[:, block k] @ x_k`` and ships them row-wise to the RHS column,
+   which subtracts them from the residual.
+
+Every rank returns the full replicated solution vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.kernels import FLOPS, upper_solve
+from ..grid.block_cyclic import owning_process
+from .matrix import DistMatrix
+
+_TAG_SEG = 101
+_TAG_PARTIAL = 102
+
+
+def backsolve(mat: DistMatrix) -> np.ndarray:
+    """Solve ``U x = b_hat``; returns ``x`` (length ``n``) on every rank."""
+    grid, n, nb = mat.grid, mat.n, mat.nb
+    comm = grid.comm
+    # The RHS lives in global column n.
+    rhs_col = owning_process(n, nb, grid.q)
+    i_own_rhs_col = grid.mycol == rhs_col
+    lc_rhs = mat.local_cols_from(n) if i_own_rhs_col else -1
+    # Local working copy of the RHS so the solve never mutates the matrix.
+    b_local = mat.a[:, lc_rhs].copy() if i_own_rhs_col else None
+
+    x = np.zeros(n)
+    nblocks = (n + nb - 1) // nb
+    for k in range(nblocks - 1, -1, -1):
+        j0 = k * nb
+        jb = min(nb, n - j0)
+        prow = owning_process(j0, nb, grid.p)
+        pcol = owning_process(j0, nb, grid.q)
+        diag_rank = grid.rank_of(prow, pcol)
+        # 1. residual segment to the diagonal owner
+        if grid.myrow == prow:
+            lr = mat.local_rows_from(j0)
+            if i_own_rhs_col:
+                seg = b_local[lr : lr + jb]
+                if pcol != rhs_col:
+                    grid.row_comm.send(seg, pcol, tag=_TAG_SEG)
+            if grid.mycol == pcol and pcol != rhs_col:
+                seg = grid.row_comm.recv(rhs_col, tag=_TAG_SEG)
+        # 2. local triangular solve on the diagonal owner
+        if comm.rank == diag_rank:
+            lr = mat.local_rows_from(j0)
+            lc = mat.local_cols_from(j0)
+            ukk = mat.a[lr : lr + jb, lc : lc + jb]
+            xk = upper_solve(ukk, seg)
+        else:
+            xk = None
+        # 3. replicate x_k
+        xk = comm.bcast(xk, root=diag_rank)
+        x[j0 : j0 + jb] = xk
+        # 4. fold A[:, block k] @ x_k into the residual rows above the block
+        if grid.mycol == pcol:
+            lr_top = mat.local_rows_from(j0)  # rows with position < j0
+            lc = mat.local_cols_from(j0)
+            partial = mat.a[:lr_top, lc : lc + jb] @ xk
+            FLOPS.add(2.0 * lr_top * jb)
+            if i_own_rhs_col:
+                b_local[:lr_top] -= partial
+            else:
+                grid.row_comm.send(partial, rhs_col, tag=_TAG_PARTIAL)
+        elif i_own_rhs_col:
+            lr_top = mat.local_rows_from(j0)
+            partial = grid.row_comm.recv(pcol, tag=_TAG_PARTIAL)
+            b_local[:lr_top] -= partial
+    return x

@@ -1,0 +1,333 @@
+"""The HPL factorization loop: classic, look-ahead, and split-update.
+
+All three schedules compute *the same factorization* (same pivots, same
+factors -- the tests assert this); they differ only in the order phases are
+issued, which is what determines how much communication the paper's
+hardware could hide:
+
+* ``CLASSIC`` -- fact, bcast, swap, update, strictly in sequence.  On real
+  hardware the GPU idles during FACT/LBCAST/RS.
+* ``LOOKAHEAD`` (Fig. 3) -- the trailing update is split so the *next*
+  panel's columns are updated first and handed to FACT, whose work (and
+  the subsequent LBCAST) then overlaps the rest of the update.  RS remains
+  exposed.
+* ``SPLIT_UPDATE`` (Fig. 6) -- additionally splits the local columns into
+  a shrinking *left* and fixed-width *right* section.  Each section's
+  row-swap communication is hidden under the other section's update:
+  RS1 under UPDATE2, and RS2 -- communicated one iteration early, scattered
+  back at the start of the next -- under UPDATE1.
+
+The numeric engine is single-threaded per rank, so "hiding" is a statement
+about issue order, not wall time; the issue order here is mirrored by the
+task DAGs in :mod:`repro.sched.timeline`, which is where the paper's
+timelines are actually simulated.  What this module guarantees is that the
+reordered schedules are *numerically valid* -- every value is produced
+before it is consumed -- which is the property the paper's Section III.C
+argues informally and our tests check mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..blas.threaded import TileWorkerPool
+from ..config import HPLConfig, Schedule, SwapVariant
+from ..errors import ConfigError
+from ..grid.block_cyclic import owning_process
+from .lbcast import broadcast_panel
+from .matrix import DistMatrix
+from .panel import Panel
+from .pfact import factor_panel
+from .rowswap import RowSwapper, compute_swap_plan
+from .timers import Timers
+from .update import apply_update, solve_u, trailing_dgemm
+
+
+@dataclass
+class FactorResult:
+    """Outcome of the factorization loop on one rank."""
+
+    timers: Timers
+    ipiv: list[np.ndarray] = field(default_factory=list)  # per-panel pivots
+    modes: list[str] = field(default_factory=list)  # per-iteration DAG shape
+
+
+def _panel_width(n: int, nb: int, k: int) -> tuple[int, int]:
+    j0 = k * nb
+    return j0, min(nb, n - j0)
+
+
+def _fact_and_bcast(
+    mat: DistMatrix, cfg: HPLConfig, pool: TileWorkerPool, k: int, timers: Timers
+) -> Panel:
+    """FACT on the owning column (plus the synthetic host transfers),
+    then LBCAST along the process row."""
+    grid = mat.grid
+    j0, jb = _panel_width(mat.n, cfg.nb, k)
+    pcol = owning_process(j0, cfg.nb, grid.q)
+    panel: Panel | None = None
+    if grid.mycol == pcol:
+        lr0 = mat.local_rows_from(j0)
+        lc0 = mat.local_cols_from(j0)
+        view = mat.a[lr0:, lc0 : lc0 + jb]
+        pos = mat.row_pos[lr0:]
+        # The D2H/H2D transfers that bracket FACT on the paper's hardware.
+        timers.transfer(d2h_bytes=8.0 * view.shape[0] * jb)
+        with timers.phase("FACT"):
+            panel = factor_panel(
+                grid.col_comm, view, pos, k, j0, jb, cfg, pool, grid.myrow, grid.p
+            )
+        timers.transfer(h2d_bytes=8.0 * view.shape[0] * jb)
+    with timers.phase("LBCAST"):
+        panel = broadcast_panel(grid.row_comm, panel, pcol, cfg.bcast)
+    return panel
+
+
+def swap_algo(cfg: HPLConfig, width: int) -> str:
+    """Pick the SWAP algorithm for a section of ``width`` local columns.
+
+    ``MIX`` follows HPL.dat semantics: binary exchange below the
+    threshold, spread-roll above it.
+    """
+    if cfg.swap is SwapVariant.LONG:
+        return "long"
+    if cfg.swap is SwapVariant.BINEXCH:
+        return "binexch"
+    return "binexch" if width <= cfg.swap_threshold else "long"
+
+
+def _full_swap(
+    mat: DistMatrix,
+    cfg: HPLConfig,
+    plan,
+    col_lo: int,
+    col_hi: int,
+    timers: Timers,
+    phase: str = "RS",
+) -> RowSwapper:
+    """gather + communicate + scatter_back for one section."""
+    sw = RowSwapper(
+        mat, plan, col_lo, col_hi, phase=phase,
+        algo=swap_algo(cfg, col_hi - col_lo),
+    )
+    with timers.phase(phase):
+        sw.gather()
+        sw.communicate()
+        sw.scatter_back()
+    return sw
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def _run_classic(
+    mat: DistMatrix, cfg: HPLConfig, pool: TileWorkerPool, timers: Timers
+) -> FactorResult:
+    result = FactorResult(timers)
+    for k in range(cfg.nblocks):
+        j0, jb = _panel_width(mat.n, cfg.nb, k)
+        result.modes.append("classic")
+        with timers.iteration(k):
+            panel = _fact_and_bcast(mat, cfg, pool, k, timers)
+            result.ipiv.append(panel.ipiv)
+            plan = compute_swap_plan(panel.ipiv, j0, jb)
+            lo = mat.local_cols_from(j0 + jb)
+            sw = _full_swap(mat, cfg, plan, lo, mat.nloc_aug, timers)
+            with timers.phase("UPDATE"):
+                apply_update(mat, panel, sw, lo, mat.nloc_aug)
+    return result
+
+
+def _run_lookahead(
+    mat: DistMatrix, cfg: HPLConfig, pool: TileWorkerPool, timers: Timers
+) -> FactorResult:
+    """Fig. 3: update the next panel's columns first, FACT them, then
+    finish the update while (on real hardware) LBCAST streams."""
+    result = FactorResult(timers)
+    with timers.iteration(-1):
+        panel = _fact_and_bcast(mat, cfg, pool, 0, timers)
+    for k in range(cfg.nblocks):
+        j0, jb = _panel_width(mat.n, cfg.nb, k)
+        result.ipiv.append(panel.ipiv)
+        result.modes.append("lookahead")
+        with timers.iteration(k):
+            plan = compute_swap_plan(panel.ipiv, j0, jb)
+            lo = mat.local_cols_from(j0 + jb)
+            has_next = k + 1 < cfg.nblocks
+            if has_next:
+                j0n, jbn = _panel_width(mat.n, cfg.nb, k + 1)
+                la_hi = mat.local_cols_from(j0n + jbn)
+            else:
+                la_hi = lo
+            # look-ahead section: swap + update, then FACT the next panel
+            sw_la = _full_swap(mat, cfg, plan, lo, la_hi, timers)
+            with timers.phase("UPDATE"):
+                apply_update(mat, panel, sw_la, lo, la_hi)
+            next_panel = (
+                _fact_and_bcast(mat, cfg, pool, k + 1, timers) if has_next else None
+            )
+            # remainder of the trailing matrix
+            sw = _full_swap(mat, cfg, plan, la_hi, mat.nloc_aug, timers)
+            with timers.phase("UPDATE"):
+                apply_update(mat, panel, sw, la_hi, mat.nloc_aug)
+            if has_next:
+                panel = next_panel
+    return result
+
+
+def _run_split(
+    mat: DistMatrix, cfg: HPLConfig, pool: TileWorkerPool, timers: Timers
+) -> FactorResult:
+    """Fig. 6: look-ahead plus the left/right split update.
+
+    The right section's width ``n2`` is fixed (``split_fraction`` of the
+    initial local columns, aligned down to a block boundary); the left
+    section shrinks as the factorization advances.  The right section's
+    row swap for panel ``k+1`` is *communicated* during iteration ``k``
+    (after UPDATE2, hidden by UPDATE1 on hardware) and *scattered back* at
+    the start of iteration ``k+1``.  Once the left section is exhausted,
+    iterations fall back to the plain look-ahead form, exactly as the
+    paper describes.
+    """
+    result = FactorResult(timers)
+    nloc = mat.nloc_aug
+    n2 = int(round(cfg.split_fraction * nloc))
+    sp = ((nloc - n2) // cfg.nb) * cfg.nb  # left/right boundary, block-aligned
+    sp = max(0, min(nloc, sp))
+
+    with timers.iteration(-1):
+        panel = _fact_and_bcast(mat, cfg, pool, 0, timers)
+    pending: RowSwapper | None = None  # RS2 communicated, not yet scattered
+
+    for k in range(cfg.nblocks):
+        j0, jb = _panel_width(mat.n, cfg.nb, k)
+        result.ipiv.append(panel.ipiv)
+        lo = mat.local_cols_from(j0 + jb)
+        has_next = k + 1 < cfg.nblocks
+        result.modes.append("split" if lo < sp else "lookahead")
+        with timers.iteration(k):
+            plan = compute_swap_plan(panel.ipiv, j0, jb)
+            if lo >= sp:
+                # ---- fallback: plain look-ahead over what remains ----
+                if pending is not None:
+                    # RS for panel k was already communicated (full right
+                    # section == full remaining trailing matrix).
+                    with timers.phase("RS"):
+                        pending.scatter_back()
+                    with timers.phase("UPDATE"):
+                        u = pending.u
+                        solve_u(panel, u)
+                        pending.store_u(u)
+                    full_u = pending
+                    pending = None
+                else:
+                    full_u = _full_swap(mat, cfg, plan, lo, nloc, timers)
+                    with timers.phase("UPDATE"):
+                        u = full_u.u
+                        solve_u(panel, u)
+                        full_u.store_u(u)
+                if has_next:
+                    j0n, jbn = _panel_width(mat.n, cfg.nb, k + 1)
+                    la_hi = mat.local_cols_from(j0n + jbn)
+                else:
+                    la_hi = lo
+                # look-ahead: update la columns, FACT next, update the rest
+                u = full_u.u
+                with timers.phase("UPDATE"):
+                    trailing_dgemm(mat, panel, u[:, : la_hi - lo], lo, la_hi)
+                next_panel = (
+                    _fact_and_bcast(mat, cfg, pool, k + 1, timers) if has_next else None
+                )
+                with timers.phase("UPDATE"):
+                    trailing_dgemm(mat, panel, u[:, la_hi - lo :], la_hi, nloc)
+                if has_next:
+                    panel = next_panel
+                continue
+
+            # ---- split-update iteration (left section nonempty) ----
+            # 1. finish RS2 for panel k on the right section
+            if pending is not None:
+                with timers.phase("RS"):
+                    pending.scatter_back()
+                with timers.phase("UPDATE"):
+                    u2 = pending.u
+                    solve_u(panel, u2)
+                    pending.store_u(u2)
+                s2 = pending
+                pending = None
+            else:
+                s2 = _full_swap(mat, cfg, plan, sp, nloc, timers, phase="RS")
+                with timers.phase("UPDATE"):
+                    u2 = s2.u
+                    solve_u(panel, u2)
+                    s2.store_u(u2)
+            # 2. look-ahead section: swap, update, then FACT next panel
+            if has_next:
+                j0n, jbn = _panel_width(mat.n, cfg.nb, k + 1)
+                la_hi = mat.local_cols_from(j0n + jbn)
+            else:
+                la_hi = lo
+            sw_la = _full_swap(mat, cfg, plan, lo, la_hi, timers)
+            with timers.phase("UPDATE"):
+                apply_update(mat, panel, sw_la, lo, la_hi)
+            next_panel = (
+                _fact_and_bcast(mat, cfg, pool, k + 1, timers) if has_next else None
+            )
+            # 3. RS1: left section swap (hidden under UPDATE2 on hardware)
+            sw1 = _full_swap(mat, cfg, plan, la_hi, sp, timers)
+            with timers.phase("UPDATE"):
+                u1 = sw1.u
+                solve_u(panel, u1)
+                sw1.store_u(u1)
+            # 4. UPDATE2: the right section's trailing DGEMM
+            with timers.phase("UPDATE"):
+                trailing_dgemm(mat, panel, u2, sp, nloc)
+            # 5. RS2 for panel k+1: gather + communicate only
+            if has_next:
+                plan_next = compute_swap_plan(next_panel.ipiv, j0n, jbn)
+                pending = RowSwapper(
+                    mat, plan_next, sp, nloc, phase="RS",
+                    algo=swap_algo(cfg, nloc - sp),
+                )
+                with timers.phase("RS"):
+                    pending.gather()
+                    pending.communicate()
+            # 6. UPDATE1: the left section's trailing DGEMM
+            with timers.phase("UPDATE"):
+                trailing_dgemm(mat, panel, u1, la_hi, sp)
+            if has_next:
+                panel = next_panel
+    return result
+
+
+_SCHEDULES = {
+    Schedule.CLASSIC: _run_classic,
+    Schedule.LOOKAHEAD: _run_lookahead,
+    Schedule.SPLIT_UPDATE: _run_split,
+}
+
+
+def factorize(
+    mat: DistMatrix, cfg: HPLConfig, pool: TileWorkerPool | None = None
+) -> FactorResult:
+    """Run the configured schedule; collective over the grid.
+
+    On return ``mat.a`` holds the factorization (U on/above the global
+    diagonal, L multipliers below) and the fully-updated RHS.
+    """
+    if mat.n != cfg.n or mat.nb != cfg.nb:
+        raise ConfigError(
+            f"matrix (n={mat.n}, nb={mat.nb}) does not match config "
+            f"(n={cfg.n}, nb={cfg.nb})"
+        )
+    timers = Timers()
+    own_pool = pool is None
+    if own_pool:
+        pool = TileWorkerPool(cfg.fact_threads)
+    try:
+        return _SCHEDULES[cfg.schedule](mat, cfg, pool, timers)
+    finally:
+        if own_pool:
+            pool.shutdown()

@@ -1,0 +1,47 @@
+"""LBCAST: broadcast the factored panel along the process row.
+
+The factoring column packs ``(W, ipiv, L2)`` into one contiguous buffer and
+broadcasts it with the configured ring-family algorithm (paper Fig. 2b).
+Because the broadcast travels along a process *row*, every receiver shares
+the sender's row distribution, so the received ``L2`` rows line up with the
+receiver's local rows with no re-indexing.
+
+No computation happens here; the phase is pure bandwidth, which is why the
+paper hides it behind the trailing update via look-ahead.
+"""
+
+from __future__ import annotations
+
+from ..config import BcastVariant
+from ..simmpi import Communicator
+from .panel import Panel
+
+
+def broadcast_panel(
+    row_comm: Communicator,
+    panel: Panel | None,
+    root_col: int,
+    algo: BcastVariant,
+) -> Panel:
+    """Broadcast ``panel`` from grid column ``root_col`` along the row.
+
+    Args:
+        row_comm: Row communicator (rank == grid column).
+        panel: The factored panel on ranks in ``root_col``; ``None``
+            elsewhere.
+        root_col: Grid column that performed FACT.
+        algo: Broadcast algorithm (HPL.dat ``BCAST``).
+
+    Returns:
+        The panel, now present on every rank of the row.
+    """
+    if row_comm.size == 1:
+        assert panel is not None
+        return panel
+    buf = panel.pack() if row_comm.rank == root_col else None
+    with row_comm.phase("LBCAST"):
+        buf = row_comm.bcast(buf, root=root_col, algo=algo.value)
+    if row_comm.rank == root_col:
+        assert panel is not None
+        return panel
+    return Panel.unpack(buf)

@@ -1,0 +1,86 @@
+"""The factored-panel object exchanged between HPL phases.
+
+After FACT, the current block column is fully described by three pieces,
+which is exactly what LBCAST ships along each process row:
+
+* ``W`` -- the ``jb x jb`` *replicated triangle*: the factored block row,
+  with the unit-lower multipliers ``L1`` below the diagonal and ``U11`` on
+  and above it.  Every process in the factoring column ends the pivot
+  exchange holding an identical copy.
+* ``ipiv`` -- the ``jb`` global pivot row positions chosen, in order
+  (sequential-swap semantics, as in LAPACK's ``ipiv``).
+* ``L2`` -- the multipliers below the block row for this process row's
+  local rows (the tall part of L the local DGEMM needs).  Because the
+  broadcast travels along a process *row*, sender and receivers share the
+  same row distribution and ``L2`` needs no re-indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Panel:
+    """A factored and (possibly) broadcast panel.
+
+    Attributes:
+        k: Panel index (iteration number).
+        j0: Global row/column where the panel starts.
+        jb: Panel width (``nb``, except possibly the last panel).
+        w: ``(jb, jb)`` replicated factored block row (``L1`` strictly
+            below the diagonal, ``U11`` on/above).
+        ipiv: ``(jb,)`` global pivot positions (``ipiv[j]`` was swapped
+            with position ``j0 + j`` at step ``j``).
+        l2: ``(m2, jb)`` local multipliers below the block row, where
+            ``m2`` is this rank's count of local rows with global
+            position ``>= j0 + jb``.
+    """
+
+    k: int
+    j0: int
+    jb: int
+    w: np.ndarray
+    ipiv: np.ndarray
+    l2: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.w.shape != (self.jb, self.jb):
+            raise ValueError(f"W shape {self.w.shape} != ({self.jb}, {self.jb})")
+        if self.ipiv.shape != (self.jb,):
+            raise ValueError(f"ipiv shape {self.ipiv.shape} != ({self.jb},)")
+        if self.l2.ndim != 2 or self.l2.shape[1] != self.jb:
+            raise ValueError(f"L2 shape {self.l2.shape} incompatible with jb={self.jb}")
+
+    def pack(self) -> np.ndarray:
+        """Serialize to one contiguous float64 buffer for LBCAST."""
+        header = np.array(
+            [self.k, self.j0, self.jb, self.l2.shape[0]], dtype=np.float64
+        )
+        return np.concatenate(
+            [
+                header,
+                self.ipiv.astype(np.float64),
+                np.asfortranarray(self.w).reshape(-1, order="F"),
+                np.asfortranarray(self.l2).reshape(-1, order="F"),
+            ]
+        )
+
+    @classmethod
+    def unpack(cls, buf: np.ndarray) -> "Panel":
+        """Inverse of :meth:`pack`."""
+        k, j0, jb, m2 = (int(v) for v in buf[:4])
+        off = 4
+        ipiv = buf[off : off + jb].astype(np.int64)
+        off += jb
+        w = buf[off : off + jb * jb].reshape((jb, jb), order="F").copy()
+        off += jb * jb
+        l2 = buf[off : off + m2 * jb].reshape((m2, jb), order="F").copy()
+        return cls(k=k, j0=j0, jb=jb, w=w, ipiv=ipiv, l2=l2)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the packed panel (what LBCAST moves)."""
+        return 8 * (4 + self.jb + self.jb * self.jb + self.l2.size)

@@ -1,0 +1,89 @@
+"""HPL-style jump-ahead linear congruential generator.
+
+Netlib HPL generates the distributed matrix with a 64-bit LCG whose
+crucial property is O(log k) *jump-ahead*: any process can position the
+stream at the global element index it owns without generating the elements
+in between.  This makes the global matrix a pure function of ``(n, seed)``
+-- independent of the process grid -- which we rely on throughout the test
+suite to compare runs on different grids against a serial ground truth.
+
+The generator is ``x_{k+1} = (a x_k + c) mod 2^64`` with the familiar
+MMIX/PCG multiplier.  Jumping ``k`` steps composes the affine map with
+itself ``k`` times by binary doubling: ``x_{n+k} = A_k x_n + C_k`` where
+``A_k = a^k`` and ``C_k = c (a^k - 1)/(a - 1)``, all mod ``2^64``.
+
+Values map to doubles in ``[-0.5, 0.5)`` using the top 53 bits of state,
+matching HPL's centered uniform distribution (which keeps the expected
+pivot growth mild and the matrix comfortably nonsingular).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: LCG multiplier (MMIX / PCG64 multiplier; HPL uses the same construction
+#: split into two 32-bit halves).
+MULT = 6364136223846793005
+#: LCG increment.
+INCR = 1
+_MASK = (1 << 64) - 1
+
+
+def lcg_jump(k: int) -> tuple[int, int]:
+    """Affine coefficients ``(A, C)`` with ``x_{n+k} = A x_n + C (mod 2^64)``.
+
+    Computed by binary doubling of the map composition, O(log k).
+    """
+    if k < 0:
+        raise ValueError(f"jump distance must be >= 0, got {k}")
+    a_acc, c_acc = 1, 0  # identity map
+    a_pow, c_pow = MULT, INCR  # the single-step map
+    while k:
+        if k & 1:
+            # compose: apply (a_pow, c_pow) after (a_acc, c_acc)
+            a_acc = (a_pow * a_acc) & _MASK
+            c_acc = (a_pow * c_acc + c_pow) & _MASK
+        # double: (a_pow, c_pow) o (a_pow, c_pow)
+        c_pow = (a_pow * c_pow + c_pow) & _MASK
+        a_pow = (a_pow * a_pow) & _MASK
+        k >>= 1
+    return a_acc, c_acc
+
+
+def _initial_state(seed: int) -> int:
+    """Mix the user seed into a full-width nonzero starting state."""
+    x = (seed & _MASK) ^ 0x9E3779B97F4A7C15
+    # one step so that nearby seeds decorrelate immediately
+    return (MULT * x + INCR) & _MASK
+
+
+def state_at(seed: int, k: int) -> int:
+    """LCG state at stream position ``k`` (position 0 = initial state)."""
+    a, c = lcg_jump(k)
+    return (a * _initial_state(seed) + c) & _MASK
+
+
+def random_values(seed: int, start: int, count: int) -> np.ndarray:
+    """``count`` doubles in ``[-0.5, 0.5)`` at stream positions
+    ``start, start+1, ...`` -- vectorized.
+
+    Uses the closed form ``x_{start+t} = A_t x_start + C_t`` with
+    ``A_t = a^t`` (a cumulative product) and ``C_t = sum_{s<t} a^s``
+    (a cumulative sum), evaluated in wrapping uint64 arithmetic.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    x0 = np.uint64(state_at(seed, start))
+    mult = np.uint64(MULT)
+    a_pow = np.empty(count, dtype=np.uint64)
+    a_pow[0] = np.uint64(1)
+    if count > 1:
+        powers = np.full(count - 1, mult, dtype=np.uint64)
+        np.cumprod(powers, out=a_pow[1:])
+    c_sum = np.zeros(count, dtype=np.uint64)
+    if count > 1:
+        np.cumsum(a_pow[:-1], out=c_sum[1:])
+    states = a_pow * x0 + c_sum  # wraps mod 2^64
+    return (states >> np.uint64(11)).astype(np.float64) * 2.0**-53 - 0.5

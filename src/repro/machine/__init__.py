@@ -1,0 +1,39 @@
+"""Hardware models of the Crusher/Frontier node (the simulated substrate).
+
+We have no MI250X GPUs, Slingshot NICs, or 64-core EPYC sockets; these
+modules model them analytically, calibrated to the numbers the paper
+reports (49 TFLOPS DGEMM per MI250X at NB=512, 153 TFLOPS single node,
+etc.).  The models answer one kind of question: *how long would this much
+work / this much traffic take on that hardware?* -- and the discrete-event
+timeline simulator (:mod:`repro.sched`) composes the answers according to
+the paper's iteration DAGs.
+"""
+
+from .spec import (
+    CPUSpec,
+    ClusterSpec,
+    GPUSpec,
+    LinkSpec,
+    NodeSpec,
+)
+from .frontier import crusher_node, crusher_cluster
+from .gemm_model import dgemm_seconds, dgemm_tflops
+from .cpu_model import fact_seconds, fact_gflops
+from .comm_model import CommModel
+from .transfer_model import transfer_seconds
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "crusher_node",
+    "crusher_cluster",
+    "dgemm_tflops",
+    "dgemm_seconds",
+    "fact_seconds",
+    "fact_gflops",
+    "CommModel",
+    "transfer_seconds",
+]

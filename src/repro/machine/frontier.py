@@ -1,0 +1,71 @@
+"""Crusher / Frontier presets, calibrated to the paper's reported numbers.
+
+One Crusher node (HPE Cray EX, per the paper's Section IV and the Crusher
+quick-start guide):
+
+* 1x 64-core "optimized 3rd Gen EPYC" (Trento), 8 CCDs;
+* 4x MI250X, each two GCDs => 8 GPU devices of 64 GB HBM2e each;
+* GCDs linked by Infinity Fabric on node, CPU attached by Infinity Fabric
+  (36 GB/s per direction per GCD);
+* 4x HPE Slingshot 200 Gb/s NICs, one per MI250X => 25 GB/s line rate per
+  GCD pair, ~23 GB/s effective per GCD used here.
+
+Calibration anchors from the paper:
+
+* DGEMM at NB=512 achieves **49 TFLOPS per MI250X** (24.5 per GCD) -- the
+  ``gemm_eff_max``/``gemm_k_half`` defaults in :class:`GPUSpec` hit this;
+* the achievable single-node ceiling is ``4 x 49 = 196`` TFLOPS;
+* the full N=256,000 run scores **~153 TFLOPS** (78 % of the ceiling).
+"""
+
+from __future__ import annotations
+
+from .spec import ClusterSpec, CPUSpec, GPUSpec, LinkSpec, NodeSpec
+
+#: The paper's single-node problem size (fills HBM with workspace).
+CRUSHER_SINGLE_NODE_N = 256_000
+#: The paper's blocking factor for Frontier-class nodes.
+CRUSHER_NB = 512
+#: Frontier's June-2022 Top500 configuration: 9408 compute nodes.
+FRONTIER_NODES = 9408
+#: Frontier's June-2022 HPL score (the 1.102 ExaFLOPS debut), in TFLOPS.
+FRONTIER_TOP500_TFLOPS = 1_102_000.0
+
+
+def crusher_node() -> NodeSpec:
+    """One Crusher node with the calibrated defaults."""
+    return NodeSpec(
+        cpu=CPUSpec(
+            cores=64,
+            ccds=8,
+            core_dgemm_gflops=27.0,
+            l3_mb=256.0,
+            mem_bw_gbs=205.0,
+        ),
+        gpu=GPUSpec(
+            name="MI250X GCD",
+            peak_fp64_matrix_tflops=47.9,
+            hbm_gb=64.0,
+            hbm_bw_gbs=1600.0,
+        ),
+        gpus=8,
+        h2d=LinkSpec(36.0, 8e-6),
+        d2h=LinkSpec(36.0, 8e-6),
+        gpu_gpu=LinkSpec(50.0, 2e-6),
+        nic=LinkSpec(23.0, 4e-6),
+    )
+
+
+def crusher_cluster(nnodes: int = 1) -> ClusterSpec:
+    """``nnodes`` Crusher nodes on Slingshot."""
+    return ClusterSpec(node=crusher_node(), nnodes=nnodes)
+
+
+def frontier_cluster(nnodes: int = FRONTIER_NODES) -> ClusterSpec:
+    """The full Frontier system (same node architecture as Crusher).
+
+    The model carries no dragonfly-topology congestion effects, which the
+    paper itself flags as the open problem beyond 128 nodes, so
+    full-machine estimates are optimistic bounds rather than predictions.
+    """
+    return ClusterSpec(node=crusher_node(), nnodes=nnodes)

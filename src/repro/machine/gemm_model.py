@@ -1,0 +1,72 @@
+"""DGEMM performance model for one GPU device.
+
+HPL's update-phase DGEMMs have shape ``(m x n) += (m x k) @ (k x n)`` with
+``k = NB``; their efficiency saturates in every extent.  We model the
+achieved rate as a separable product of saturation terms::
+
+    rate(m, n, k) = peak * eff_max * s(k; k_half) * s(min(m, n); mn_half)
+
+with ``s(x; h) = x / (x + h)``.  The knees are calibrated so that NB=512
+trailing updates on an MI250X GCD reach the paper's 24.5 TFLOPS (49 per
+module), while small-``k`` or skinny updates degrade -- which is exactly
+the trade the paper describes when choosing NB ("large enough that DGEMM
+reaches a high percentage of peak, as small as possible for overlap").
+"""
+
+from __future__ import annotations
+
+from .spec import GPUSpec
+
+
+def _saturation(x: float, half: float) -> float:
+    if x <= 0:
+        return 0.0
+    return x / (x + half)
+
+
+def dgemm_efficiency(gpu: GPUSpec, m: int, n: int, k: int) -> float:
+    """Fraction of matrix-core peak achieved for an ``m x n x k`` DGEMM."""
+    if min(m, n, k) <= 0:
+        return 0.0
+    return (
+        gpu.gemm_eff_max
+        * _saturation(float(k), gpu.gemm_k_half)
+        * _saturation(float(min(m, n)), gpu.gemm_mn_half)
+    )
+
+
+def dgemm_tflops(gpu: GPUSpec, m: int, n: int, k: int) -> float:
+    """Achieved TFLOP/s for an ``m x n x k`` DGEMM on one device."""
+    return gpu.peak_fp64_matrix_tflops * dgemm_efficiency(gpu, m, n, k)
+
+
+def dgemm_seconds(gpu: GPUSpec, m: int, n: int, k: int) -> float:
+    """Wall time of an ``m x n x k`` DGEMM, including launch latency."""
+    if min(m, n, k) <= 0:
+        return 0.0
+    rate = dgemm_tflops(gpu, m, n, k) * 1e12
+    return gpu.kernel_latency_s + 2.0 * m * n * k / rate
+
+
+def dtrsm_seconds(gpu: GPUSpec, m: int, n: int) -> float:
+    """Triangular solve ``(m x m) \\ (m x n)``: modeled as a DGEMM of the
+    same flop volume at the spec's ``trsm_eff`` relative efficiency
+    (triangular kernels trail square ones in rocBLAS)."""
+    if m <= 0 or n <= 0:
+        return 0.0
+    rate = gpu.trsm_eff * dgemm_tflops(gpu, m, n, m) * 1e12
+    if rate <= 0:
+        return gpu.kernel_latency_s
+    return gpu.kernel_latency_s + float(m) * m * n / rate
+
+
+def rowcopy_seconds(gpu: GPUSpec, nbytes: float) -> float:
+    """A gather/scatter kernel moving ``nbytes`` of rows (read+write).
+
+    Row accesses are strided in the column-major local matrix, so the
+    effective bandwidth is the spec's ``rowswap_bw_gbs``, not streaming
+    HBM bandwidth.
+    """
+    if nbytes <= 0:
+        return 0.0
+    return gpu.kernel_latency_s + 2.0 * nbytes / (gpu.rowswap_bw_gbs * 1e9)

@@ -1,0 +1,162 @@
+"""Hardware specification dataclasses.
+
+A :class:`NodeSpec` describes one Crusher/Frontier-style node: a single CPU
+socket plus a set of GPU *devices* (for MI250X, each Graphics Compute Die
+counts as one device, matching rocHPL's one-rank-per-GCD design).  A
+:class:`ClusterSpec` is a set of identical nodes on an interconnect.
+
+All bandwidths are GB/s (1e9 bytes), latencies seconds, rates GFLOP/s or
+TFLOP/s as named.  Specs are frozen: a run's hardware does not mutate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU device (one GCD of an MI250X).
+
+    Attributes:
+        name: Marketing/device name.
+        peak_fp64_matrix_tflops: FP64 matrix-core peak.
+        hbm_gb: HBM capacity.
+        hbm_bw_gbs: HBM bandwidth (drives row gather/scatter kernels).
+        kernel_latency_s: Launch-to-start latency of one kernel.
+        gemm_eff_max: Asymptotic fraction of matrix peak large DGEMMs reach.
+        gemm_k_half: ``k`` at which DGEMM reaches half its asymptotic
+            efficiency (the blocking-factor knee the paper discusses when
+            motivating NB=512).
+        gemm_mn_half: Same knee for the ``m``/``n`` extents.
+        trsm_eff: DTRSM rate relative to same-shape DGEMM (rocBLAS
+            triangular kernels trail square ones).
+        rowswap_bw_gbs: Effective HBM bandwidth of the strided row
+            gather/scatter kernels (well below streaming bandwidth).
+    """
+
+    name: str = "GCD"
+    peak_fp64_matrix_tflops: float = 47.9
+    hbm_gb: float = 64.0
+    hbm_bw_gbs: float = 1600.0
+    kernel_latency_s: float = 10e-6
+    gemm_eff_max: float = 0.576
+    gemm_k_half: float = 45.0
+    gemm_mn_half: float = 2000.0
+    trsm_eff: float = 0.5
+    rowswap_bw_gbs: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.peak_fp64_matrix_tflops <= 0:
+            raise ConfigError("GPU peak must be positive")
+        if not 0 < self.gemm_eff_max <= 1:
+            raise ConfigError("gemm_eff_max must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The node's CPU socket.
+
+    Attributes:
+        cores: Physical cores.
+        ccds: Core Complex Dies (cache/affinity domains).
+        core_dgemm_gflops: Sustained per-core DGEMM rate (BLIS).
+        l3_mb: Total L3 (the FACT working set usually fits, per the paper).
+        mem_bw_gbs: DDR bandwidth (the penalty when it does not fit).
+        sync_latency_s: One barrier/reduction hop between threads.
+        col_overhead_s: Fixed serial cost per factored column (pivot
+            bookkeeping, MPI progression, swap latency) -- dominates the
+            latency-bound tail of the benchmark.
+        pivot_row_bw_gbs: Effective rate of the per-column pivot row swap
+            and broadcast inside the socket.
+    """
+
+    cores: int = 64
+    ccds: int = 8
+    core_dgemm_gflops: float = 27.0
+    l3_mb: float = 256.0
+    mem_bw_gbs: float = 205.0
+    sync_latency_s: float = 0.4e-6
+    col_overhead_s: float = 12e-6
+    pivot_row_bw_gbs: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.ccds < 1:
+            raise ConfigError("CPU needs at least one core and one CCD")
+        if self.cores % self.ccds:
+            raise ConfigError(f"{self.cores} cores do not tile {self.ccds} CCDs")
+
+    @property
+    def cores_per_ccd(self) -> int:
+        return self.cores // self.ccds
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link: alpha-beta (latency + bandwidth) model.
+
+    ``seconds(nbytes) = latency + nbytes / bandwidth``.
+    """
+
+    bandwidth_gbs: float
+    latency_s: float
+
+    def seconds(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ConfigError(f"negative message size {nbytes}")
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One accelerated node.
+
+    Attributes:
+        cpu: The CPU socket.
+        gpu: The per-device GPU spec.
+        gpus: Number of GPU devices (GCDs) -- also the ranks per node.
+        h2d: Host-to-device link per device (Infinity Fabric).
+        d2h: Device-to-host link per device.
+        gpu_gpu: Device-to-device link on node (Infinity Fabric).
+        nic: Off-node link per device (Slingshot NIC share).
+    """
+
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    gpus: int = 8
+    h2d: LinkSpec = field(default_factory=lambda: LinkSpec(36.0, 8e-6))
+    d2h: LinkSpec = field(default_factory=lambda: LinkSpec(36.0, 8e-6))
+    gpu_gpu: LinkSpec = field(default_factory=lambda: LinkSpec(50.0, 2e-6))
+    nic: LinkSpec = field(default_factory=lambda: LinkSpec(23.0, 4e-6))
+
+    def __post_init__(self) -> None:
+        if self.gpus < 1:
+            raise ConfigError("node needs at least one GPU device")
+
+    @property
+    def hbm_total_gb(self) -> float:
+        return self.gpus * self.gpu.hbm_gb
+
+    def fits_n(self, n: int, fill: float = 0.95) -> bool:
+        """Would an ``n x n`` float64 matrix (plus workspace) fit in HBM?"""
+        return 8.0 * n * n <= fill * self.hbm_total_gb * 1e9
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of :class:`NodeSpec` nodes."""
+
+    node: NodeSpec = field(default_factory=NodeSpec)
+    nnodes: int = 1
+    inter_node_hop_latency_s: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise ConfigError("cluster needs at least one node")
+
+    def max_n(self, fill: float = 0.95) -> int:
+        """Largest n whose matrix fits the cluster's total HBM."""
+        total = self.nnodes * self.node.hbm_total_gb * 1e9 * fill
+        return int((total / 8.0) ** 0.5)

@@ -1,0 +1,23 @@
+"""Host-device transfer model.
+
+Each iteration the factoring column ships the look-ahead columns to the
+host for FACT and the factored panel back (paper Fig. 3's "transfer"
+bands).  Pure alpha-beta over the per-device host link.
+"""
+
+from __future__ import annotations
+
+from .spec import LinkSpec, NodeSpec
+
+
+def transfer_seconds(link: LinkSpec, nbytes: float) -> float:
+    """Seconds to move ``nbytes`` across one host-device link."""
+    if nbytes <= 0:
+        return 0.0
+    return link.seconds(nbytes)
+
+
+def panel_roundtrip_seconds(node: NodeSpec, m_local: int, nb: int) -> float:
+    """D2H of the updated look-ahead panel plus H2D of the factored panel."""
+    nbytes = 8.0 * m_local * nb
+    return transfer_seconds(node.d2h, nbytes) + transfer_seconds(node.h2d, nbytes)

@@ -1,0 +1,50 @@
+"""FACT multi-threading study (the paper's Figure 5).
+
+Performance in GFLOPS of factoring an ``M x NB`` matrix on a single
+process (no MPI pivot exchange) for NB = 512, M a range of multiples of
+NB, and thread counts in powers of two from 1 to 64 -- the exact sweep of
+Fig. 5, evaluated on the CPU panel model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.cpu_model import fact_gflops
+from ..machine.frontier import crusher_node
+from ..machine.spec import CPUSpec
+
+
+@dataclass
+class FactCurve:
+    """One thread-count curve of Fig. 5."""
+
+    threads: int
+    m_values: list[int]
+    gflops: list[float]
+
+
+def fact_sweep(
+    cpu: CPUSpec | None = None,
+    nb: int = 512,
+    m_multiples: list[int] | None = None,
+    thread_counts: list[int] | None = None,
+) -> list[FactCurve]:
+    """The Fig. 5 sweep: GFLOPS vs M for each thread count."""
+    if cpu is None:
+        cpu = crusher_node().cpu
+    if m_multiples is None:
+        m_multiples = [1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128]
+    if thread_counts is None:
+        thread_counts = [1, 2, 4, 8, 16, 32, 64]
+    curves = []
+    for t in thread_counts:
+        ms = [mult * nb for mult in m_multiples]
+        curves.append(
+            FactCurve(
+                threads=t,
+                m_values=ms,
+                gflops=[fact_gflops(cpu, m, nb, t) for m in ms],
+            )
+        )
+    return curves

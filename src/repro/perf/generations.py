@@ -1,0 +1,79 @@
+"""The paper's Section V experiment: compute outpacing communication.
+
+The discussion section argues that as generational leaps in accelerator
+throughput outpace interconnect improvements, "the performance bottlenecks
+shift away from being bound by computation rate", lowering HPL efficiency
+as a fraction of peak.  This module makes that argument quantitative: it
+scales the GPU's compute rate by a factor while holding the CPU, links and
+NIC fixed, re-runs the single-node simulation, and reports how the
+fraction-of-ceiling and the hidden-communication window shrink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..machine.frontier import crusher_cluster
+from ..machine.spec import ClusterSpec
+from .hplsim import RunReport, simulate_run
+from .ledger import PerfConfig
+
+
+@dataclass
+class GenerationPoint:
+    """One compute-scaling factor's outcome."""
+
+    compute_scale: float
+    score_tflops: float
+    ceiling_tflops: float
+    hidden_time_fraction: float
+    report: RunReport
+
+    @property
+    def efficiency(self) -> float:
+        """Score as a fraction of the scaled DGEMM ceiling."""
+        return self.score_tflops / self.ceiling_tflops
+
+
+def scaled_cluster(base: ClusterSpec, compute_scale: float) -> ClusterSpec:
+    """A cluster whose GPUs are ``compute_scale`` x faster, same network."""
+    if compute_scale <= 0:
+        raise ValueError(f"compute_scale must be positive, got {compute_scale}")
+    gpu = dataclasses.replace(
+        base.node.gpu,
+        peak_fp64_matrix_tflops=base.node.gpu.peak_fp64_matrix_tflops
+        * compute_scale,
+    )
+    node = dataclasses.replace(base.node, gpu=gpu)
+    return dataclasses.replace(base, node=node)
+
+
+def generational_sweep(
+    scales: list[float] | None = None,
+    cfg: PerfConfig | None = None,
+) -> list[GenerationPoint]:
+    """Sweep GPU compute scaling factors at fixed network performance."""
+    if scales is None:
+        scales = [0.5, 1.0, 2.0, 4.0, 8.0]
+    if cfg is None:
+        cfg = PerfConfig(n=256_000, nb=512, p=4, q=2, pl=4, ql=2)
+    base = crusher_cluster(1)
+    points = []
+    for scale in scales:
+        cluster = scaled_cluster(base, scale)
+        report = simulate_run(cfg, cluster)
+        gpu = cluster.node.gpu
+        from ..machine.gemm_model import dgemm_tflops
+
+        ceiling = cluster.node.gpus * dgemm_tflops(gpu, 60_000, 120_000, cfg.nb)
+        points.append(
+            GenerationPoint(
+                compute_scale=scale,
+                score_tflops=report.score_tflops,
+                ceiling_tflops=ceiling,
+                hidden_time_fraction=report.hidden_time_fraction,
+                report=report,
+            )
+        )
+    return points

@@ -1,0 +1,274 @@
+"""Exact per-iteration work/volume ledger, priced into task durations.
+
+For each iteration ``k`` the ledger computes -- from the same block-cyclic
+index math the numeric engine uses -- how many flops and bytes each phase
+moves at the *focal* process (the owner of panel ``k+1``'s block, i.e. the
+process whose FACT and look-ahead sit on the critical path, which is also
+the process rocHPL's per-iteration timers follow).  The machine models then
+convert work into seconds, producing the
+:class:`~repro.sched.timeline.IterCosts` the timeline simulator consumes.
+
+The integration tests cross-check these formulas against the flop/byte
+counts *measured* by the instrumented numeric engine at small sizes, so
+the performance simulation provably prices the same algorithm the numeric
+engine executes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import BcastVariant, Schedule, SwapVariant
+from ..errors import ConfigError
+from ..grid.block_cyclic import num_local_before, numroc
+from ..machine.comm_model import CommModel, GridTopology
+from ..machine.cpu_model import fact_seconds
+from ..machine.gemm_model import dgemm_seconds, dtrsm_seconds, rowcopy_seconds
+from ..machine.spec import ClusterSpec
+from ..machine.transfer_model import transfer_seconds
+from ..sched.timeline import IterCosts, SectionCosts
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """A benchmark run as the performance simulator sees it.
+
+    Attributes:
+        n, nb, p, q: Global problem and grid (as in ``HPLConfig``).
+        pl, ql: Node-local grid (rocHPL's launch-wrapper input); determines
+            both node placement and the CPU core time-sharing factor.
+        schedule: Iteration schedule.
+        split_fraction: Right-section fraction for the split update.
+        bcast: Panel broadcast algorithm.
+        swap: Row-swapping algorithm (LONG / BINEXCH / MIX).
+        swap_threshold: MIX's width threshold for binary exchange.
+        fact_threads: Override for FACT threads per process; 0 means use
+            the Section III.B time-sharing formula ``T = 1 + Cbar / pl``.
+    """
+
+    n: int
+    nb: int
+    p: int
+    q: int
+    pl: int
+    ql: int
+    schedule: Schedule = Schedule.SPLIT_UPDATE
+    split_fraction: float = 0.5
+    bcast: BcastVariant = BcastVariant.ONE_RING_M
+    swap: SwapVariant = SwapVariant.LONG
+    swap_threshold: int = 64
+    fact_threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.p % self.pl or self.q % self.ql:
+            raise ConfigError(
+                f"node-local {self.pl}x{self.ql} does not tile {self.p}x{self.q}"
+            )
+
+    @property
+    def nblocks(self) -> int:
+        return math.ceil(self.n / self.nb)
+
+    @property
+    def total_flops(self) -> float:
+        return (2.0 / 3.0) * self.n**3 + 1.5 * self.n**2
+
+
+def time_sharing_threads(cores: int, pl: int, ql: int) -> int:
+    """Section III.B: FACT threads per process under core time-sharing.
+
+    With ``C`` cores and a ``pl x ql`` node-local grid, each rank gets a
+    root core; the remaining ``Cbar = C - pl*ql`` form a pool split into
+    ``pl`` row groups, so each FACT uses ``T = 1 + Cbar / pl`` threads.
+    """
+    cbar = cores - pl * ql
+    if cbar < 0:
+        raise ConfigError(f"{pl * ql} ranks exceed {cores} cores")
+    return 1 + cbar // pl
+
+
+@dataclass
+class _Sizes:
+    """Local extents at the focal process for one iteration."""
+
+    m_update: int  # local rows with position >= (k+1)*nb (update target)
+    m_l2: int  # local rows below panel k+1's block (L2 height)
+    m_fact: int  # tallest per-process share of panel k+1's rows
+    w_la: int  # look-ahead section local width
+    w_left: int
+    w_right: int
+    jb: int  # panel k width
+    jb_next: int  # panel k+1 width (0 when none)
+    mode: str
+    c_f: int = 0  # focal grid column
+
+
+def _sizes(cfg: PerfConfig, k: int) -> _Sizes:
+    n, nb, p, q = cfg.n, cfg.nb, cfg.p, cfg.q
+    j0 = k * nb
+    jb = min(nb, n - j0)
+    j0n = j0 + jb
+    jb_next = min(nb, n - j0n) if j0n < n else 0
+    # Focal process: owner of panel k+1's block.  The last iteration has no
+    # next panel; its remaining work is the RHS column's swap/update, so the
+    # focal column is the RHS owner's.
+    blk = (k + 1) if jb_next else k
+    r_f = blk % p
+    c_f = blk % q if jb_next else (n // nb) % q
+    m_update = numroc(n, nb, r_f, p) - num_local_before(j0n, nb, r_f, p)
+    j1 = min(n, j0n + jb_next)
+    m_l2 = numroc(n, nb, r_f, p) - num_local_before(j1, nb, r_f, p)
+    # Tallest per-process trailing share: with j0n block-aligned this is
+    # the shifted-frame proc-0 share (equals max over r of the trailing
+    # numroc; property-tested equivalence).
+    m_fact = numroc(n - j0n, nb, 0, p)
+    nloc_aug = numroc(n + 1, nb, c_f, q)
+    lo = num_local_before(j0n, nb, c_f, q)
+    w_trail = nloc_aug - lo
+    w_la = jb_next  # the focal column owns panel k+1's columns
+    if cfg.schedule is Schedule.SPLIT_UPDATE:
+        n2 = int(round(cfg.split_fraction * nloc_aug))
+        sp = max(0, ((nloc_aug - n2) // nb) * nb)
+        if lo < sp:
+            return _Sizes(
+                m_update, m_l2, m_fact, w_la, sp - lo - w_la, nloc_aug - sp,
+                jb, jb_next, "split", c_f,
+            )
+        return _Sizes(
+            m_update, m_l2, m_fact, w_la, w_trail - w_la, 0, jb, jb_next,
+            "lookahead", c_f,
+        )
+    if cfg.schedule is Schedule.LOOKAHEAD:
+        return _Sizes(
+            m_update, m_l2, m_fact, w_la, w_trail - w_la, 0, jb, jb_next,
+            "lookahead", c_f,
+        )
+    return _Sizes(
+        m_update, m_l2, m_fact, 0, w_trail, 0, jb, jb_next, "classic", c_f
+    )
+
+
+def _section(
+    cm: CommModel,
+    cluster: ClusterSpec,
+    topo: GridTopology,
+    col: int,
+    m_update: int,
+    jb: int,
+    w: int,
+    swap: SwapVariant = SwapVariant.LONG,
+    swap_threshold: int = 64,
+) -> SectionCosts:
+    """Price one column section's RS + update pipeline."""
+    if w <= 0:
+        return SectionCosts()
+    gpu = cluster.node.gpu
+    members = topo.col_members(col)
+    root = (0, col)  # representative block-row owner in this column
+    u_bytes = 8.0 * jb * w
+    use_binexch = swap is SwapVariant.BINEXCH or (
+        swap is SwapVariant.MIX and w <= swap_threshold
+    )
+    if use_binexch:
+        assemble = cm.binexch_allgather_seconds(members, u_bytes)
+    else:
+        assemble = cm.allgatherv_seconds(members, u_bytes)
+    comm = assemble + cm.scatterv_seconds(
+        root, members, u_bytes * (topo.p - 1) / max(topo.p, 1)
+    )
+    return SectionCosts(
+        gather=rowcopy_seconds(gpu, u_bytes),
+        comm=comm,
+        scatter=rowcopy_seconds(gpu, u_bytes),
+        dtrsm=dtrsm_seconds(gpu, jb, w),
+        dgemm=dgemm_seconds(gpu, m_update, w, jb),
+    )
+
+
+def iteration_costs(
+    cfg: PerfConfig,
+    cluster: ClusterSpec,
+    k: int,
+    cm: CommModel | None = None,
+) -> IterCosts:
+    """Price iteration ``k`` (RS/update of panel ``k``, FACT of ``k+1``).
+
+    ``cm`` may be supplied to amortize topology construction over a run.
+    """
+    if cm is None:
+        cm = CommModel(cluster, GridTopology(cfg.p, cfg.q, cfg.pl, cfg.ql))
+    topo = cm.topo
+    node = cluster.node
+    sz = _sizes(cfg, k)
+    c_f = sz.c_f
+    threads = cfg.fact_threads or time_sharing_threads(node.cpu.cores, cfg.pl, cfg.ql)
+
+    # FACT of panel k+1: CPU compute plus the per-column pivot collectives.
+    if sz.jb_next:
+        col_members = topo.col_members(c_f)
+        fact = fact_seconds(node.cpu, max(sz.m_fact, sz.jb_next), sz.jb_next, threads)
+        fact += sz.jb_next * cm.allreduce_seconds(
+            col_members, 2.0 * 8.0 * sz.jb_next, per_hop_overhead=5e-6
+        )
+        panel_bytes = 8.0 * (sz.m_l2 * sz.jb_next + sz.jb_next**2 + sz.jb_next + 4)
+        lbcast = cm.bcast_seconds(topo.row_members(0), panel_bytes, cfg.bcast)
+        move = 8.0 * sz.m_fact * sz.jb_next
+        d2h = transfer_seconds(node.d2h, move)
+        h2d = transfer_seconds(node.h2d, move)
+    else:
+        fact = lbcast = d2h = h2d = 0.0
+
+    return IterCosts(
+        k=k,
+        mode=sz.mode,
+        fact=fact,
+        lbcast=lbcast,
+        d2h=d2h,
+        h2d=h2d,
+        la=_section(
+            cm, cluster, topo, c_f, sz.m_update, sz.jb, sz.w_la,
+            cfg.swap, cfg.swap_threshold,
+        ),
+        left=_section(
+            cm, cluster, topo, c_f, sz.m_update, sz.jb, sz.w_left,
+            cfg.swap, cfg.swap_threshold,
+        ),
+        right=_section(
+            cm, cluster, topo, c_f, sz.m_update, sz.jb, sz.w_right,
+            cfg.swap, cfg.swap_threshold,
+        ),
+    )
+
+
+def run_costs(cfg: PerfConfig, cluster: ClusterSpec) -> list[IterCosts]:
+    """Costs for the whole run, preamble included where the schedule needs it."""
+    costs: list[IterCosts] = []
+    topo = GridTopology(cfg.p, cfg.q, cfg.pl, cfg.ql)
+    cm = CommModel(cluster, topo)
+    if cfg.schedule is not Schedule.CLASSIC:
+        # Preamble: FACT + LBCAST of panel 0 (k = -1 by convention).
+        node = cluster.node
+        threads = cfg.fact_threads or time_sharing_threads(
+            node.cpu.cores, cfg.pl, cfg.ql
+        )
+        jb = min(cfg.nb, cfg.n)
+        m_fact = numroc(cfg.n, cfg.nb, 0, cfg.p)
+        fact = fact_seconds(node.cpu, max(m_fact, jb), jb, threads)
+        fact += jb * cm.allreduce_seconds(
+            topo.col_members(0), 2.0 * 8.0 * jb, per_hop_overhead=5e-6
+        )
+        panel_bytes = 8.0 * (m_fact * jb + jb * jb + jb + 4)
+        costs.append(
+            IterCosts(
+                k=-1,
+                mode="preamble",
+                fact=fact,
+                lbcast=cm.bcast_seconds(topo.row_members(0), panel_bytes, cfg.bcast),
+                d2h=transfer_seconds(node.d2h, 8.0 * m_fact * jb),
+                h2d=transfer_seconds(node.h2d, 8.0 * m_fact * jb),
+            )
+        )
+    for k in range(cfg.nblocks):
+        costs.append(iteration_costs(cfg, cluster, k, cm=cm))
+    return costs

@@ -1,0 +1,25 @@
+"""Discrete-event timeline simulation of HPL iterations.
+
+:mod:`repro.sched.engine` executes a task DAG against *in-order resources*
+-- the execution model of the paper's hardware, where the GPU compute
+stream, each host-device DMA engine, the NIC progression, and the CPU each
+process their submitted work in order, subject to cross-resource
+dependencies.  :mod:`repro.sched.timeline` builds the iteration DAGs of the
+paper's Figure 3 (look-ahead) and Figure 6 (split update), chained across
+iterations exactly as rocHPL issues them.
+"""
+
+from .engine import Task, TimelineResult, simulate
+from .timeline import IterCosts, SectionCosts, build_run
+from .trace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Task",
+    "TimelineResult",
+    "simulate",
+    "IterCosts",
+    "SectionCosts",
+    "build_run",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,42 @@
+"""simmpi: an in-process SPMD runtime with MPI-like semantics.
+
+Each rank of an SPMD job runs as a Python thread; a shared
+:class:`~repro.simmpi.fabric.Fabric` provides tagged point-to-point message
+matching with MPI buffer semantics (payloads are copied on send).  On top of
+point-to-point, :mod:`repro.simmpi.collectives` implements the collective
+algorithms HPL actually uses -- ring / modified-ring / two-ring / binomial
+broadcasts, recursive-doubling allreduce, scatterv, ring allgatherv and a
+dissemination barrier -- so the communication *structure* of the benchmark
+is faithful even though the transport is shared memory.
+
+Typical usage::
+
+    from repro.simmpi import run_spmd
+
+    def main(comm):
+        value = comm.allreduce(comm.rank, op="sum")
+        return value
+
+    results = run_spmd(4, main)   # [6, 6, 6, 6]
+"""
+
+from .collectives import bcast_algorithms, register_bcast
+from .fabric import Fabric, ANY_SOURCE, ANY_TAG
+from .communicator import Communicator, CommContext
+from .launcher import run_spmd
+from .request import Request
+from .stats import CommStats, PhaseStats
+
+__all__ = [
+    "Fabric",
+    "Communicator",
+    "CommContext",
+    "Request",
+    "CommStats",
+    "PhaseStats",
+    "run_spmd",
+    "register_bcast",
+    "bcast_algorithms",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

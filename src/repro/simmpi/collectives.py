@@ -1,0 +1,403 @@
+"""Collective algorithms implemented over point-to-point messaging.
+
+These mirror the algorithm families Netlib HPL / rocHPL actually use:
+
+* panel broadcast: increasing-ring (``1ring``), modified increasing-ring
+  (``1ringM``), two rings (``2ring`` / ``2ringM``), binomial tree, and the
+  bandwidth-optimal ``blong`` (scatter + ring allgather);
+* pivot search: recursive-doubling allreduce (works for any reduction
+  operator, including HPL's max-loc pivot operator);
+* row swapping: ``scatterv`` and ring ``allgatherv``;
+* a dissemination barrier.
+
+Each algorithm only uses :meth:`Communicator._send_raw`/``recv`` with
+reserved tags, so collectives never collide with user point-to-point
+traffic.  Within one (source, tag) stream matching is FIFO, which is what
+makes back-to-back collectives of the same kind pair up correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import CommError
+
+# Reserved tag space (>= Communicator.MAX_USER_TAG = 1 << 24).
+_TAG_BCAST = (1 << 24) + 1
+_TAG_REDUCE = (1 << 24) + 2
+_TAG_ALLREDUCE = (1 << 24) + 3
+_TAG_GATHER = (1 << 24) + 4
+_TAG_SCATTER = (1 << 24) + 5
+_TAG_BARRIER = (1 << 24) + 6
+_TAG_ALLGATHERV = (1 << 24) + 7
+_TAG_BLONG = (1 << 24) + 8
+
+
+def _resolve_op(op: str | Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """Turn an op name into a combiner; ndarray-aware for sum/max/min."""
+    if callable(op):
+        return op
+    if op == "sum":
+        return lambda a, b: a + b
+    if op == "max":
+        return lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+    if op == "min":
+        return lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+    raise CommError(f"unknown reduction op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Barrier
+# ----------------------------------------------------------------------
+def barrier(comm) -> None:
+    """Dissemination barrier: ceil(log2(size)) rounds of token exchange."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    step = 1
+    while step < size:
+        comm._send_raw(None, (rank + step) % size, _TAG_BARRIER)
+        comm.recv((rank - step) % size, _TAG_BARRIER)
+        step <<= 1
+
+
+# ----------------------------------------------------------------------
+# Broadcasts
+# ----------------------------------------------------------------------
+def bcast(comm, obj: Any, root: int, algo: str = "binomial") -> Any:
+    """Broadcast ``obj`` from ``root``; every rank returns the payload."""
+    if not 0 <= root < comm.size:
+        raise CommError(f"bcast root {root} outside communicator of size {comm.size}")
+    if comm.size == 1:
+        return obj
+    fn = _BCAST_ALGOS.get(algo)
+    if fn is None:
+        raise CommError(f"unknown bcast algorithm {algo!r}")
+    return fn(comm, obj, root)
+
+
+def _bcast_binomial(comm, obj: Any, root: int) -> Any:
+    """Classic binomial tree: latency-optimal, log2(size) rounds."""
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    # Receive from parent (if not root).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            obj = comm.recv((rank - mask) % size, _TAG_BCAST)
+            break
+        mask <<= 1
+    # Forward to children.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            comm._send_raw(obj, (rank + mask) % size, _TAG_BCAST)
+        mask >>= 1
+    return obj
+
+
+def _bcast_1ring(comm, obj: Any, root: int) -> Any:
+    """Increasing ring: root -> root+1 -> ... -> root-1."""
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    if vrank != 0:
+        obj = comm.recv((rank - 1) % size, _TAG_BCAST)
+    if vrank != size - 1:
+        comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+    return obj
+
+
+def _bcast_1ring_m(comm, obj: Any, root: int) -> Any:
+    """Modified increasing ring (HPL's ``1rM``).
+
+    The root sends to its two nearest successors; the first successor does
+    not forward (it is the next panel owner and is served first so its
+    critical-path work can start), the ring continues from the second.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 2:
+        return _bcast_1ring(comm, obj, root)
+    vrank = (rank - root) % size
+    if vrank == 0:
+        comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+        comm._send_raw(obj, (rank + 2) % size, _TAG_BCAST)
+    elif vrank == 1:
+        obj = comm.recv(root, _TAG_BCAST)
+    else:
+        source = root if vrank == 2 else (rank - 1) % size
+        obj = comm.recv(source, _TAG_BCAST)
+        if vrank != size - 1:
+            comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+    return obj
+
+
+def _bcast_2ring(comm, obj: Any, root: int) -> Any:
+    """Two rings: successors are split in half, each half forwards a ring."""
+    size, rank = comm.size, comm.rank
+    if size <= 3:
+        return _bcast_1ring(comm, obj, root)
+    vrank = (rank - root) % size
+    half = (size - 1 + 1) // 2  # ring 1 covers vranks [1, half], ring 2 the rest
+    if vrank == 0:
+        comm._send_raw(obj, (root + 1) % size, _TAG_BCAST)
+        comm._send_raw(obj, (root + half + 1) % size, _TAG_BCAST)
+    elif 1 <= vrank <= half:
+        source = root if vrank == 1 else (rank - 1) % size
+        obj = comm.recv(source, _TAG_BCAST)
+        if vrank != half:
+            comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+    else:
+        source = root if vrank == half + 1 else (rank - 1) % size
+        obj = comm.recv(source, _TAG_BCAST)
+        if vrank != size - 1:
+            comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+    return obj
+
+
+def _bcast_2ring_m(comm, obj: Any, root: int) -> Any:
+    """Modified two rings: rank root+1 is served first and does not forward;
+    the remaining ranks form two rings."""
+    size, rank = comm.size, comm.rank
+    if size <= 4:
+        return _bcast_1ring_m(comm, obj, root)
+    vrank = (rank - root) % size
+    rest = size - 2  # vranks 2 .. size-1
+    half = (rest + 1) // 2  # ring 1 covers vranks [2, 1+half]
+    if vrank == 0:
+        comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+        comm._send_raw(obj, (rank + 2) % size, _TAG_BCAST)
+        comm._send_raw(obj, (root + 2 + half) % size, _TAG_BCAST)
+    elif vrank == 1:
+        obj = comm.recv(root, _TAG_BCAST)
+    elif 2 <= vrank <= 1 + half:
+        source = root if vrank == 2 else (rank - 1) % size
+        obj = comm.recv(source, _TAG_BCAST)
+        if vrank != 1 + half:
+            comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+    else:
+        source = root if vrank == 2 + half else (rank - 1) % size
+        obj = comm.recv(source, _TAG_BCAST)
+        if vrank != size - 1:
+            comm._send_raw(obj, (rank + 1) % size, _TAG_BCAST)
+    return obj
+
+
+def _bcast_blong(comm, obj: Any, root: int) -> Any:
+    """Bandwidth-optimal long broadcast: scatter + ring allgather.
+
+    Only defined for ndarray payloads (HPL applies it to the packed panel
+    buffer); other payload types fall back to the binomial tree, which every
+    rank learns from the metadata broadcast.
+    """
+    size, rank = comm.size, comm.rank
+    # Everyone needs dtype/shape metadata first (small binomial bcast).
+    meta = None
+    if rank == root:
+        if isinstance(obj, np.ndarray):
+            flat = np.ascontiguousarray(obj).reshape(-1)
+            meta = ("arr", flat.dtype, flat.size, obj.shape)
+        else:
+            meta = ("obj", obj)
+    meta = _bcast_binomial(comm, meta, root)
+    if meta[0] == "obj":
+        return meta[1]
+    _, dtype, total, shape = meta
+    counts = [total // size + (1 if r < total % size else 0) for r in range(size)]
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    if rank == root:
+        flat = np.ascontiguousarray(obj).reshape(-1)
+        chunks = [flat[offsets[r] : offsets[r + 1]] for r in range(size)]
+    else:
+        chunks = None
+    my_chunk = scatterv(comm, chunks, root, tag=_TAG_BLONG)
+    parts = allgatherv(comm, my_chunk, tag=_TAG_BLONG)
+    return np.concatenate(parts).reshape(shape)
+
+
+_BCAST_ALGOS = {
+    "binomial": _bcast_binomial,
+    "1ring": _bcast_1ring,
+    "1ringM": _bcast_1ring_m,
+    "2ring": _bcast_2ring,
+    "2ringM": _bcast_2ring_m,
+    "blong": _bcast_blong,
+}
+
+
+def register_bcast(name: str, fn) -> None:
+    """Register a custom broadcast algorithm under ``name``.
+
+    The paper notes that large-scale runs eventually need communication
+    routines specialized to the system's network topology, and that the
+    code is kept modular so users can drop their own in; this is that
+    extension point.  ``fn(comm, obj, root) -> obj`` must deliver the
+    root's payload to every rank (use ``comm._send_raw`` with your own
+    reserved tag, or compose the building blocks in this module).
+
+    Built-in names cannot be replaced.
+    """
+    if not name or not isinstance(name, str):
+        raise CommError(f"invalid bcast algorithm name {name!r}")
+    if name in _BUILTIN_BCASTS:
+        raise CommError(f"cannot replace built-in bcast algorithm {name!r}")
+    if not callable(fn):
+        raise CommError("bcast algorithm must be callable")
+    _BCAST_ALGOS[name] = fn
+
+
+def bcast_algorithms() -> list[str]:
+    """Names of all registered broadcast algorithms."""
+    return sorted(_BCAST_ALGOS)
+
+
+_BUILTIN_BCASTS = frozenset(_BCAST_ALGOS)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def allreduce(comm, value: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
+    """Recursive-doubling allreduce with pre/post folding for odd sizes.
+
+    The combiner must be associative; for non-commutative combiners the
+    reduction order is deterministic (rank order within each pairing), so
+    all ranks agree on the result.
+    """
+    combine = _resolve_op(op)
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return value
+    # Fold surplus ranks down to the largest power of two.
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    if rank < 2 * rem:
+        if rank % 2 == 1:  # odd ranks send their value and sit out
+            comm._send_raw(value, rank - 1, _TAG_ALLREDUCE)
+            active_rank = -1
+        else:
+            other = comm.recv(rank + 1, _TAG_ALLREDUCE)
+            value = combine(value, other)
+            active_rank = rank // 2
+    else:
+        active_rank = rank - rem
+    # Recursive doubling among the pof2 active ranks.
+    if active_rank >= 0:
+        def to_real(vr: int) -> int:
+            return vr * 2 if vr < rem else vr + rem
+
+        mask = 1
+        while mask < pof2:
+            partner = active_rank ^ mask
+            comm._send_raw(value, to_real(partner), _TAG_ALLREDUCE)
+            other = comm.recv(to_real(partner), _TAG_ALLREDUCE)
+            # Deterministic order: lower active rank's value on the left.
+            value = combine(value, other) if active_rank < partner else combine(other, value)
+            mask <<= 1
+    # Unfold: active even ranks push the result back to their odd partner.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            comm._send_raw(value, rank + 1, _TAG_ALLREDUCE)
+        else:
+            value = comm.recv(rank - 1, _TAG_ALLREDUCE)
+    return value
+
+
+def reduce(
+    comm, value: Any, op: str | Callable[[Any, Any], Any] = "sum", root: int = 0
+) -> Any:
+    """Binomial-tree reduce to ``root``; other ranks return ``None``."""
+    combine = _resolve_op(op)
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            comm._send_raw(value, (rank - mask) % size, _TAG_REDUCE)
+            return None
+        if vrank + mask < size:
+            other = comm.recv((rank + mask) % size, _TAG_REDUCE)
+            value = combine(value, other)
+        mask <<= 1
+    return value if rank == root else None
+
+
+# ----------------------------------------------------------------------
+# Gather / scatter families
+# ----------------------------------------------------------------------
+def gather(comm, obj: Any, root: int = 0) -> list[Any] | None:
+    """Gather one object per rank to ``root`` (flat, rank-ordered)."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        out: list[Any] = [None] * size
+        out[rank] = obj
+        for _ in range(size - 1):
+            payload, source, _ = comm.recv_status(tag=_TAG_GATHER)
+            out[source] = payload
+        return out
+    comm._send_raw(obj, root, _TAG_GATHER)
+    return None
+
+
+def allgather(comm, obj: Any) -> list[Any]:
+    """Gather to rank 0 then binomial-broadcast the list."""
+    gathered = gather(comm, obj, root=0)
+    return bcast(comm, gathered, root=0)
+
+
+def scatter(comm, objs: Sequence[Any] | None, root: int = 0) -> Any:
+    """Scatter one object per rank from ``root``."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if objs is None or len(objs) != size:
+            raise CommError(f"scatter root needs exactly {size} objects")
+        for dest in range(size):
+            if dest != rank:
+                comm._send_raw(objs[dest], dest, _TAG_SCATTER)
+        return objs[rank]
+    return comm.recv(root, _TAG_SCATTER)
+
+
+def scatterv(
+    comm, chunks: Sequence[np.ndarray] | None, root: int = 0, tag: int = _TAG_SCATTER
+) -> np.ndarray:
+    """Scatter variable-size ndarray chunks from ``root``."""
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if chunks is None or len(chunks) != size:
+            raise CommError(f"scatterv root needs exactly {size} chunks")
+        for dest in range(size):
+            if dest != rank:
+                comm._send_raw(chunks[dest], dest, tag)
+        return chunks[rank]
+    return comm.recv(root, tag)
+
+
+def gatherv(comm, chunk: np.ndarray, root: int = 0) -> list[np.ndarray] | None:
+    """Gather variable-size ndarray chunks to ``root`` in rank order."""
+    return gather(comm, chunk, root)
+
+
+def allgatherv(comm, chunk: np.ndarray, tag: int = _TAG_ALLGATHERV) -> list[np.ndarray]:
+    """Ring allgatherv: size-1 steps, each forwarding the newest block.
+
+    Bandwidth-optimal (every rank sends/receives the total payload minus its
+    own chunk once), which is why HPL uses it to assemble the pivot-row
+    matrix U.  Returns the per-rank chunks in rank order.
+    """
+    size, rank = comm.size, comm.rank
+    parts: list[np.ndarray | None] = [None] * size
+    parts[rank] = chunk
+    if size == 1:
+        return [chunk]
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    have = rank  # index of the newest block this rank holds
+    for _ in range(size - 1):
+        comm._send_raw(parts[have], right, tag)
+        have = (have - 1) % size
+        parts[have] = comm.recv(left, tag)
+    return parts  # type: ignore[return-value]

@@ -1,0 +1,237 @@
+"""Communicators: per-rank views of a message context.
+
+A :class:`CommContext` names a group of world ranks plus a hashable context
+id; a :class:`Communicator` is one rank's handle on that context.  All
+point-to-point addressing is in *context ranks*; the communicator translates
+to world ranks for fabric delivery.  Collectives are implemented over
+point-to-point in :mod:`repro.simmpi.collectives` and exposed here as
+methods for an mpi4py-like feel.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import CommError
+from . import collectives as coll
+from .fabric import ANY_SOURCE, ANY_TAG, MAX_USER_TAG, Fabric, payload_nbytes
+from .request import Request
+
+
+@dataclass(frozen=True)
+class CommContext:
+    """An immutable communication context: a group of world ranks.
+
+    Attributes:
+        ctx_id: Hashable id separating this context's message stream from
+            every other context's (the simmpi analogue of an MPI context id).
+        world_ranks: World rank of each context rank, in context-rank order.
+    """
+
+    ctx_id: tuple
+    world_ranks: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+
+class Communicator:
+    """One rank's handle on a communication context.
+
+    Not thread-safe: a communicator belongs to the single rank thread that
+    owns it (SPMD discipline), exactly as in MPI without
+    ``MPI_THREAD_MULTIPLE``.
+    """
+
+    def __init__(self, fabric: Fabric, ctx: CommContext, rank: int):
+        if not 0 <= rank < ctx.size:
+            raise CommError(f"rank {rank} outside context of size {ctx.size}")
+        self.fabric = fabric
+        self.ctx = ctx
+        self.rank = rank
+        self._split_seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.ctx.size
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's world rank (its identity in the fabric)."""
+        return self.ctx.world_ranks[self.rank]
+
+    @property
+    def stats(self):
+        """This rank's :class:`~repro.simmpi.stats.CommStats`."""
+        return self.fabric.stats[self.world_rank]
+
+    @contextlib.contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Attribute traffic inside the ``with`` block to ``label``."""
+        stats = self.stats
+        previous = stats.current_phase
+        stats.current_phase = label
+        try:
+            yield
+        finally:
+            stats.current_phase = previous
+
+    def __repr__(self) -> str:
+        return (
+            f"Communicator(rank={self.rank}/{self.size}, "
+            f"ctx={self.ctx.ctx_id}, world={self.world_rank})"
+        )
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise CommError(f"peer rank {peer} outside communicator of size {self.size}")
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager send: copies ``obj`` and returns immediately.
+
+        Tags at or above :data:`MAX_USER_TAG` are reserved for the
+        collective algorithms.
+        """
+        self._check_peer(dest)
+        if not 0 <= tag < MAX_USER_TAG:
+            raise CommError(f"user tag must be in [0, {MAX_USER_TAG}), got {tag}")
+        self._send_raw(obj, dest, tag)
+
+    def _send_raw(self, obj: Any, dest: int, tag: int) -> None:
+        self.stats.record_send(payload_nbytes(obj))
+        self.fabric.deliver(
+            self.ctx.world_ranks[dest], self.ctx.ctx_id, self.rank, tag, obj
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        payload, _, _ = self.recv_status(source, tag)
+        return payload
+
+    def recv_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Blocking receive; returns ``(payload, source, tag)``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        env = self.fabric.match(self.world_rank, self.ctx.ctx_id, source, tag)
+        assert env is not None
+        self.stats.record_recv(payload_nbytes(env.payload))
+        return env.payload, env.source, env.tag
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (completes immediately: sends are eager)."""
+        self.send(obj, dest, tag)
+        return Request.completed()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; call :meth:`Request.wait` for the payload."""
+
+        def fetch(block: bool) -> tuple[bool, Any]:
+            env = self.fabric.match(
+                self.world_rank, self.ctx.ctx_id, source, tag, block=block
+            )
+            if env is None:
+                return False, None
+            self.stats.record_recv(payload_nbytes(env.payload))
+            return True, env.payload
+
+        return Request(fetch=fetch)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True when a matching message is already waiting."""
+        box = self.fabric._boxes[self.world_rank]
+        with box.cond:
+            for env in box.pending:
+                if env.ctx_id != self.ctx.ctx_id:
+                    continue
+                if source != ANY_SOURCE and env.source != source:
+                    continue
+                if tag == ANY_TAG:
+                    if env.tag >= MAX_USER_TAG:
+                        continue
+                elif env.tag != tag:
+                    continue
+                return True
+        return False
+
+    def sendrecv(
+        self, obj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = ANY_TAG
+    ) -> Any:
+        """Combined send + receive (safe because sends are eager)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------
+    # Collectives (algorithms live in collectives.py)
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        coll.barrier(self)
+
+    def bcast(self, obj: Any = None, root: int = 0, algo: str = "binomial") -> Any:
+        return coll.bcast(self, obj, root, algo)
+
+    def reduce(
+        self, value: Any, op: str | Callable[[Any, Any], Any] = "sum", root: int = 0
+    ) -> Any:
+        return coll.reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op: str | Callable[[Any, Any], Any] = "sum") -> Any:
+        return coll.allreduce(self, value, op)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        return coll.gather(self, obj, root)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return coll.allgather(self, obj)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        return coll.scatter(self, objs, root)
+
+    def scatterv(self, chunks: Sequence[np.ndarray] | None, root: int = 0) -> np.ndarray:
+        return coll.scatterv(self, chunks, root)
+
+    def gatherv(self, chunk: np.ndarray, root: int = 0) -> list[np.ndarray] | None:
+        return coll.gatherv(self, chunk, root)
+
+    def allgatherv(self, chunk: np.ndarray) -> list[np.ndarray]:
+        return coll.allgatherv(self, chunk)
+
+    # ------------------------------------------------------------------
+    # Context management
+    # ------------------------------------------------------------------
+    def split(self, color: int | None, key: int | None = None) -> "Communicator | None":
+        """Collective split into sub-communicators, MPI_Comm_split style.
+
+        Every rank of this communicator must call ``split`` the same number
+        of times in the same order (standard MPI discipline).  Ranks passing
+        ``color=None`` receive ``None``.
+        """
+        sort_key = self.rank if key is None else key
+        entries = self.allgather((color, sort_key))
+        seq = self._split_seq
+        self._split_seq += 1
+        if color is None:
+            return None
+        members = [r for r, (c, _) in enumerate(entries) if c == color]
+        members.sort(key=lambda r: (entries[r][1], r))
+        world = tuple(self.ctx.world_ranks[r] for r in members)
+        ctx = CommContext((*self.ctx.ctx_id, "s", seq, color), world)
+        return Communicator(self.fabric, ctx, members.index(self.rank))
+
+    def dup(self) -> "Communicator":
+        """Collective duplicate with a fresh context id."""
+        new = self.split(color=0, key=self.rank)
+        assert new is not None
+        return new

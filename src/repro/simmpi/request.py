@@ -1,0 +1,65 @@
+"""Nonblocking-communication request handles.
+
+Because the fabric's sends are eager (buffered copy at send time), an
+``isend`` completes immediately; an ``irecv`` defers the blocking match
+until :meth:`Request.wait`.  This mirrors how HPL uses nonblocking MPI:
+posting work and synchronizing at phase boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Request:
+    """Handle for a nonblocking operation.
+
+    Instances are created by the communicator; user code only calls
+    :meth:`wait` / :meth:`test`.
+    """
+
+    def __init__(
+        self,
+        complete: bool = False,
+        result: Any = None,
+        fetch: Callable[[bool], tuple[bool, Any]] | None = None,
+    ):
+        self._complete = complete
+        self._result = result
+        self._fetch = fetch
+
+    @classmethod
+    def completed(cls, result: Any = None) -> "Request":
+        """A request that is already done (used for eager sends)."""
+        return cls(complete=True, result=result)
+
+    def wait(self) -> Any:
+        """Block until the operation completes; return its result."""
+        if not self._complete:
+            assert self._fetch is not None
+            _, self._result = self._fetch(True)
+            self._complete = True
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        """Poll for completion without blocking.
+
+        Returns:
+            ``(done, result)``; ``result`` is only meaningful when ``done``.
+        """
+        if self._complete:
+            return True, self._result
+        assert self._fetch is not None
+        done, result = self._fetch(False)
+        if done:
+            self._complete, self._result = True, result
+        return done, (result if done else None)
+
+    @property
+    def complete(self) -> bool:
+        return self._complete
+
+
+def waitall(requests: list[Request]) -> list[Any]:
+    """Wait on every request, returning their results in order."""
+    return [req.wait() for req in requests]

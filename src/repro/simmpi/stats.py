@@ -1,0 +1,72 @@
+"""Per-rank communication accounting.
+
+Every send is charged to the sender's :class:`CommStats` under the rank's
+*current phase label* (set with :meth:`~repro.simmpi.communicator.Communicator.phase`).
+The HPL driver labels its phases ``FACT`` / ``LBCAST`` / ``RS`` / ``UPDATE``
+so the measured message counts and volumes can be cross-checked against the
+analytic ledger used by the performance simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseStats:
+    """Traffic attributed to one phase label on one rank."""
+
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    msgs_recv: int = 0
+    bytes_recv: int = 0
+
+    def __iadd__(self, other: "PhaseStats") -> "PhaseStats":
+        self.msgs_sent += other.msgs_sent
+        self.bytes_sent += other.bytes_sent
+        self.msgs_recv += other.msgs_recv
+        self.bytes_recv += other.bytes_recv
+        return self
+
+
+@dataclass
+class CommStats:
+    """All traffic for one rank, grouped by phase label.
+
+    Attributes:
+        rank: World rank this object belongs to.
+        phases: Mapping from phase label to its :class:`PhaseStats`.
+        current_phase: Label newly recorded traffic is charged to.
+    """
+
+    rank: int
+    phases: dict[str, PhaseStats] = field(default_factory=dict)
+    current_phase: str = "other"
+
+    def _get(self, label: str) -> PhaseStats:
+        stats = self.phases.get(label)
+        if stats is None:
+            stats = self.phases[label] = PhaseStats()
+        return stats
+
+    def record_send(self, nbytes: int) -> None:
+        stats = self._get(self.current_phase)
+        stats.msgs_sent += 1
+        stats.bytes_sent += nbytes
+
+    def record_recv(self, nbytes: int) -> None:
+        stats = self._get(self.current_phase)
+        stats.msgs_recv += 1
+        stats.bytes_recv += nbytes
+
+    @property
+    def total(self) -> PhaseStats:
+        """Aggregate over all phases."""
+        agg = PhaseStats()
+        for stats in self.phases.values():
+            agg += stats
+        return agg
+
+    def reset(self) -> None:
+        self.phases.clear()
+        self.current_phase = "other"

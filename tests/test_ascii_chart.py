@@ -1,0 +1,78 @@
+"""The terminal chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.frontier import crusher_cluster
+from repro.perf.ascii_chart import fig5_chart, fig7_chart, fig8_chart, line_chart
+from repro.perf.factsim import fact_sweep
+from repro.perf.hplsim import simulate_run
+from repro.perf.ledger import PerfConfig
+from repro.perf.scaling import weak_scaling
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart(
+            {"a": ([0, 1, 2], [0.0, 1.0, 2.0])},
+            width=20, height=5, title="T", xlabel="x", ylabel="y",
+        )
+        lines = out.splitlines()
+        assert "T" in lines[0]
+        assert any("*" in line for line in lines)
+        assert "a" in lines[-1]
+
+    def test_multiple_series_distinct_marks(self):
+        out = line_chart(
+            {"one": ([0, 1], [0, 1]), "two": ([0, 1], [1, 0])},
+            width=10, height=5,
+        )
+        assert "*" in out and "o" in out
+
+    def test_axis_scales_shown(self):
+        out = line_chart({"s": ([2, 10], [5.0, 50.0])}, width=12, height=4)
+        assert "50" in out
+        assert "10" in out
+
+    def test_log_x(self):
+        out = line_chart(
+            {"s": ([1, 2, 4, 8, 16], [1, 2, 3, 4, 5])},
+            width=16, height=4, logx=True,
+        )
+        assert "16" in out
+
+    def test_flat_series(self):
+        out = line_chart({"s": ([0, 1, 2], [3.0, 3.0, 3.0])}, width=10, height=3)
+        assert "*" in out
+
+    def test_single_point(self):
+        out = line_chart({"s": ([1], [1.0])}, width=8, height=3)
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": ([], [])})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": ([1, 2], [1.0])})
+
+
+class TestFigureCharts:
+    def test_fig7(self):
+        cfg = PerfConfig(n=16_384, nb=512, p=4, q=2, pl=4, ql=2)
+        report = simulate_run(cfg, crusher_cluster(1))
+        out = fig7_chart(report)
+        assert "Fig.7" in out and "gpu active" in out and "total" in out
+
+    def test_fig8(self):
+        points = weak_scaling([1, 2, 4], n_single=16_384)
+        out = fig8_chart(points)
+        assert "Fig.8" in out and "ideal" in out
+
+    def test_fig5(self):
+        out = fig5_chart(fact_sweep())
+        assert "Fig.5" in out and "T=64" in out

@@ -1,0 +1,172 @@
+"""Kernel correctness and flop accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blas.kernels import (
+    FLOPS,
+    dgemm_update,
+    dger_update,
+    dscal_inplace,
+    flops_dgemm,
+    flops_getrf,
+    flops_trsm,
+    idamax,
+    unit_lower_solve_inplace,
+    upper_solve,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_flops():
+    FLOPS.take()
+    yield
+    FLOPS.take()
+
+
+class TestDgemm:
+    def test_default_subtract(self, rng):
+        a = rng.standard_normal((5, 3))
+        b = rng.standard_normal((3, 4))
+        c = rng.standard_normal((5, 4))
+        expected = c - a @ b
+        dgemm_update(c, a, b)
+        assert np.allclose(c, expected)
+
+    def test_add_mode(self, rng):
+        a = rng.standard_normal((4, 2))
+        b = rng.standard_normal((2, 4))
+        c = np.zeros((4, 4))
+        dgemm_update(c, a, b, alpha=1.0, beta=1.0)
+        assert np.allclose(c, a @ b)
+
+    def test_general_alpha_beta(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        c = rng.standard_normal((3, 3))
+        expected = 0.5 * c + 2.0 * (a @ b)
+        dgemm_update(c, a, b, alpha=2.0, beta=0.5)
+        assert np.allclose(c, expected)
+
+    def test_inplace_on_view(self, rng):
+        """The update must mutate a column slice of a larger matrix."""
+        full = np.asfortranarray(rng.standard_normal((6, 8)))
+        ref = full.copy()
+        a = rng.standard_normal((6, 2))
+        b = rng.standard_normal((2, 3))
+        dgemm_update(full[:, 3:6], a, b)
+        assert np.allclose(full[:, 3:6], ref[:, 3:6] - a @ b)
+        assert np.array_equal(full[:, :3], ref[:, :3])
+
+    def test_zero_extent_noop(self):
+        c = np.ones((0, 4))
+        dgemm_update(c, np.ones((0, 2)), np.ones((2, 4)))
+        assert FLOPS.count == 0
+
+    def test_k_zero_scales_only(self):
+        c = np.ones((2, 2))
+        dgemm_update(c, np.ones((2, 0)), np.ones((0, 2)), beta=0.5)
+        assert np.allclose(c, 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dgemm_update(np.ones((2, 2)), np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_flop_count(self, rng):
+        dgemm_update(
+            np.zeros((5, 7)), rng.standard_normal((5, 3)), rng.standard_normal((3, 7))
+        )
+        assert FLOPS.count == 2 * 5 * 7 * 3
+
+
+class TestOtherKernels:
+    def test_dger(self, rng):
+        a = rng.standard_normal((4, 3))
+        x, y = rng.standard_normal(4), rng.standard_normal(3)
+        expected = a - np.outer(x, y)
+        dger_update(a, x, y)
+        assert np.allclose(a, expected)
+
+    def test_dscal(self):
+        x = np.arange(4.0)
+        dscal_inplace(x, 2.0)
+        assert np.array_equal(x, np.arange(4.0) * 2)
+
+    def test_idamax_magnitude_first_tie(self):
+        assert idamax(np.array([1.0, -5.0, 5.0, 2.0])) == 1
+        assert idamax(np.array([0.0])) == 0
+
+    def test_idamax_empty(self):
+        with pytest.raises(ValueError):
+            idamax(np.empty(0))
+
+    def test_unit_lower_solve(self, rng):
+        l = np.tril(rng.standard_normal((5, 5)), -1) + np.eye(5)
+        b = rng.standard_normal((5, 3))
+        expected = np.linalg.solve(l, b)
+        work = b.copy()
+        unit_lower_solve_inplace(l, work)
+        assert np.allclose(work, expected)
+
+    def test_unit_lower_solve_ignores_upper_junk(self, rng):
+        """Only the strictly-lower part may be referenced (packed storage)."""
+        l = np.tril(rng.standard_normal((4, 4)), -1) + np.eye(4)
+        packed = l + np.triu(np.full((4, 4), 99.0), 1)
+        b = rng.standard_normal((4, 2))
+        expected = np.linalg.solve(l, b)
+        work = b.copy()
+        unit_lower_solve_inplace(packed, work)
+        assert np.allclose(work, expected)
+
+    def test_unit_lower_solve_1d(self, rng):
+        l = np.tril(rng.standard_normal((4, 4)), -1) + np.eye(4)
+        b = rng.standard_normal(4)
+        work = b.copy()
+        unit_lower_solve_inplace(l, work)
+        assert np.allclose(work, np.linalg.solve(l, b))
+
+    def test_upper_solve(self, rng):
+        u = np.triu(rng.standard_normal((5, 5))) + 5 * np.eye(5)
+        b = rng.standard_normal(5)
+        assert np.allclose(upper_solve(u, b), np.linalg.solve(u, b))
+
+
+class TestFlopFormulas:
+    @given(st.integers(1, 100), st.integers(1, 100), st.integers(1, 100))
+    def test_dgemm_formula(self, m, n, k):
+        assert flops_dgemm(m, n, k) == 2.0 * m * n * k
+
+    def test_getrf_square_is_two_thirds_cubed(self):
+        assert flops_getrf(30, 30) == pytest.approx(30**3 * 2 / 3)
+
+    @given(st.integers(1, 50), st.integers(1, 50))
+    def test_getrf_monotone_in_m(self, n, extra):
+        m = n + extra
+        assert flops_getrf(m, n) > flops_getrf(m - 1, n)
+
+    def test_trsm_formula(self):
+        assert flops_trsm(10, 4) == 400.0
+
+
+class TestFlopCounterThreading:
+    def test_per_thread_isolation(self):
+        import threading
+
+        FLOPS.take()
+        dscal_inplace(np.ones(10), 2.0)  # 10 flops on main
+
+        seen = {}
+
+        def worker():
+            seen["initial"] = FLOPS.count
+            dscal_inplace(np.ones(5), 2.0)
+            seen["after"] = FLOPS.count
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen == {"initial": 0, "after": 5}
+        assert FLOPS.take() == 10

@@ -1,0 +1,109 @@
+"""Property tests for the 2D block-cyclic index arithmetic.
+
+These laws are the foundation both the solver and the performance ledger
+stand on; hypothesis sweeps them broadly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.block_cyclic import (
+    global_to_local,
+    local_indices,
+    local_to_global,
+    num_local_before,
+    numroc,
+    owning_process,
+)
+
+dims = st.integers(0, 500)
+blocks = st.integers(1, 17)
+procs = st.integers(1, 7)
+
+
+class TestPartitionLaws:
+    @given(dims, blocks, procs)
+    def test_numroc_partitions_n(self, n, nb, nprocs):
+        assert sum(numroc(n, nb, ip, nprocs) for ip in range(nprocs)) == n
+
+    @given(dims, blocks, procs)
+    def test_local_indices_partition_range(self, n, nb, nprocs):
+        pieces = [local_indices(n, nb, ip, nprocs) for ip in range(nprocs)]
+        allidx = np.concatenate(pieces) if pieces else np.empty(0)
+        assert sorted(allidx.tolist()) == list(range(n))
+
+    @given(dims, blocks, procs)
+    def test_local_indices_ascending_and_owned(self, n, nb, nprocs):
+        for ip in range(nprocs):
+            idx = local_indices(n, nb, ip, nprocs)
+            assert np.all(np.diff(idx) > 0)
+            for g in idx[:50]:
+                assert owning_process(int(g), nb, nprocs) == ip
+
+    @given(dims, blocks, procs)
+    def test_numroc_is_balanced(self, n, nb, nprocs):
+        """No process holds more than one block above any other."""
+        counts = [numroc(n, nb, ip, nprocs) for ip in range(nprocs)]
+        assert max(counts) - min(counts) <= nb
+
+
+class TestRoundTrips:
+    @given(st.integers(0, 10_000), blocks, procs)
+    def test_global_local_global(self, g, nb, nprocs):
+        ip, loc = global_to_local(g, nb, nprocs)
+        assert owning_process(g, nb, nprocs) == ip
+        assert local_to_global(loc, nb, ip, nprocs) == g
+
+    @given(st.integers(0, 5_000), blocks, procs, st.integers(0, 6))
+    def test_local_global_local(self, loc, nb, nprocs, ip_raw):
+        ip = ip_raw % nprocs
+        g = local_to_global(loc, nb, ip, nprocs)
+        assert global_to_local(g, nb, nprocs) == (ip, loc)
+
+    @given(st.integers(0, 3_000), blocks, procs)
+    def test_num_local_before_counts(self, g, nb, nprocs):
+        """num_local_before == brute-force count of owned indices < g."""
+        for ip in range(nprocs):
+            expected = sum(
+                1 for x in range(g) if owning_process(x, nb, nprocs) == ip
+            ) if g <= 200 else None
+            got = num_local_before(g, nb, ip, nprocs)
+            if expected is not None:
+                assert got == expected
+            assert got == numroc(g, nb, ip, nprocs)
+
+    @given(dims, blocks, procs)
+    def test_num_local_before_monotone(self, n, nb, nprocs):
+        for ip in range(nprocs):
+            prev = 0
+            for g in range(0, n, max(1, n // 20) or 1):
+                cur = num_local_before(g, nb, ip, nprocs)
+                assert cur >= prev
+                prev = cur
+
+
+class TestValidation:
+    def test_negative_global_index(self):
+        with pytest.raises(ValueError):
+            owning_process(-1, 4, 2)
+        with pytest.raises(ValueError):
+            num_local_before(-1, 4, 0, 2)
+
+    def test_bad_block(self):
+        with pytest.raises(ValueError):
+            numroc(10, 0, 0, 2)
+
+    def test_bad_proc(self):
+        with pytest.raises(ValueError):
+            num_local_before(5, 2, 3, 2)
+
+    def test_single_process_owns_everything(self):
+        assert numroc(100, 7, 0, 1) == 100
+        assert np.array_equal(local_indices(100, 7, 0, 1), np.arange(100))
+
+    def test_block_boundary_ownership(self):
+        # nb=4, 3 procs: indices 0-3 -> p0, 4-7 -> p1, 8-11 -> p2, 12-15 -> p0
+        assert [owning_process(g, 4, 3) for g in (0, 3, 4, 8, 12)] == [0, 0, 1, 2, 0]

@@ -1,0 +1,91 @@
+"""HPLConfig validation and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BcastVariant, HPLConfig, PFactVariant, Schedule
+from repro.errors import (
+    AbortError,
+    CommError,
+    ConfigError,
+    DeadlockError,
+    ReproError,
+    ScheduleError,
+    SingularMatrixError,
+    SpmdError,
+    VerificationError,
+)
+
+
+class TestConfig:
+    def test_defaults_match_rochpl(self):
+        cfg = HPLConfig(n=1024, nb=512, p=4, q=2)
+        assert cfg.pfact is PFactVariant.RIGHT
+        assert cfg.rfact is PFactVariant.RIGHT
+        assert cfg.ndiv == 2 and cfg.nbmin == 16
+        assert cfg.bcast is BcastVariant.ONE_RING_M
+        assert cfg.schedule is Schedule.SPLIT_UPDATE
+        assert cfg.split_fraction == 0.5
+        assert cfg.depth == 1
+
+    def test_derived_quantities(self):
+        cfg = HPLConfig(n=100, nb=32, p=2, q=3)
+        assert cfg.nranks == 6
+        assert cfg.nblocks == 4  # ceil(100/32)
+        assert cfg.total_flops == pytest.approx(2 / 3 * 100**3 + 1.5 * 100**2)
+
+    def test_replace(self):
+        cfg = HPLConfig(n=64, nb=8, p=2, q=2)
+        cfg2 = cfg.replace(nb=16)
+        assert cfg2.nb == 16 and cfg.nb == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0),
+            dict(nb=0),
+            dict(p=0),
+            dict(q=0),
+            dict(ndiv=1),
+            dict(nbmin=0),
+            dict(depth=2),
+            dict(split_fraction=1.5),
+            dict(split_fraction=-0.1),
+            dict(fact_threads=0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        base = dict(n=64, nb=8, p=2, q=2)
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            HPLConfig(**base)
+
+    def test_lookahead_needs_depth(self):
+        with pytest.raises(ConfigError):
+            HPLConfig(n=64, nb=8, p=2, q=2, schedule=Schedule.LOOKAHEAD, depth=0)
+
+    def test_classic_with_depth_zero_ok(self):
+        HPLConfig(n=64, nb=8, p=2, q=2, schedule=Schedule.CLASSIC, depth=0)
+
+    def test_frozen(self):
+        cfg = HPLConfig(n=64, nb=8, p=2, q=2)
+        with pytest.raises(Exception):
+            cfg.n = 128
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            CommError, DeadlockError, AbortError, ConfigError, ScheduleError,
+            SingularMatrixError, VerificationError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+
+    def test_spmd_error_message_names_ranks(self):
+        err = SpmdError({2: ValueError("x"), 0: KeyError("y")})
+        assert "0, 2" in str(err)
+        assert "KeyError" in str(err)  # lowest rank's error is summarized

@@ -1,0 +1,69 @@
+"""The measured (numeric-engine) per-iteration breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HPLConfig
+from repro.hpl.api import run_hpl
+from repro.perf.measured import (
+    format_measured_table,
+    measured_breakdown,
+    measured_chart,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hpl(HPLConfig(n=128, nb=8, p=2, q=2))
+
+
+class TestMeasuredBreakdown:
+    def test_one_row_per_iteration(self, result):
+        rows = measured_breakdown(result.timers)
+        assert [r.k for r in rows] == list(range(16))
+
+    def test_update_work_decays_quadratically_faster_than_fact(self, result):
+        """The arithmetic behind the paper's two regimes: per-iteration
+        UPDATE work decays quadratically with the trailing size, FACT work
+        only linearly, so FACT eventually dominates the iteration.
+
+        Baseline is iteration 1 (iteration 0 carries the folded-in
+        preamble FACT of panel 0)."""
+        rows = measured_breakdown(result.timers)
+        first, late = rows[1], rows[-3]
+        upd_ratio = late.flops["UPDATE"] / first.flops["UPDATE"]
+        fact_ratio = late.flops["FACT"] / first.flops["FACT"]
+        assert upd_ratio < 0.5 * fact_ratio
+
+    def test_update_share_falls_over_the_run(self, result):
+        rows = measured_breakdown(result.timers)
+        # the final iteration is degenerate (RHS column only); compare an
+        # interior tail row against the start
+        assert rows[0].update_share > rows[-3].update_share
+        assert rows[0].update_share > 0.85  # early regime: UPDATE dominates
+
+    def test_flops_sum_matches_timers_totals(self, result):
+        rows = measured_breakdown(result.timers)
+        total_update = sum(r.flops.get("UPDATE", 0.0) for r in rows)
+        expected = sum(t.total("UPDATE").flops for t in result.timers)
+        assert total_update == pytest.approx(expected)
+
+    def test_transfer_bytes_aggregated(self, result):
+        rows = measured_breakdown(result.timers)
+        assert sum(r.d2h_bytes for r in rows) > 0
+        assert sum(r.d2h_bytes for r in rows) == sum(
+            r.h2d_bytes for r in rows
+        )
+
+    def test_preamble_folds_into_iteration_zero(self, result):
+        rows = measured_breakdown(result.timers)
+        # the look-ahead preamble FACT (k=-1) must appear under k=0
+        assert rows[0].flops.get("FACT", 0.0) > 0
+
+    def test_table_and_chart_render(self, result):
+        rows = measured_breakdown(result.timers)
+        table = format_measured_table(rows, stride=2)
+        assert "UPDATE Mf" in table and "upd %" in table
+        chart = measured_chart(rows)
+        assert "UPDATE Mflop" in chart and "FACT Mflop" in chart

@@ -1,0 +1,95 @@
+"""Panel pack/unpack and the LBCAST phase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BcastVariant
+from repro.hpl.lbcast import broadcast_panel
+from repro.hpl.panel import Panel
+
+from .conftest import spmd
+
+
+def _make_panel(rng, k=3, j0=12, jb=4, m2=10) -> Panel:
+    return Panel(
+        k=k,
+        j0=j0,
+        jb=jb,
+        w=np.asfortranarray(rng.standard_normal((jb, jb))),
+        ipiv=np.arange(j0, j0 + jb, dtype=np.int64) + 1,
+        l2=np.asfortranarray(rng.standard_normal((m2, jb))),
+    )
+
+
+class TestPanelPacking:
+    def test_roundtrip(self, rng):
+        panel = _make_panel(rng)
+        back = Panel.unpack(panel.pack())
+        assert back.k == panel.k and back.j0 == panel.j0 and back.jb == panel.jb
+        assert np.array_equal(back.w, panel.w)
+        assert np.array_equal(back.ipiv, panel.ipiv)
+        assert np.array_equal(back.l2, panel.l2)
+
+    def test_empty_l2(self, rng):
+        panel = _make_panel(rng, m2=0)
+        back = Panel.unpack(panel.pack())
+        assert back.l2.shape == (0, 4)
+
+    def test_nbytes_matches_pack(self, rng):
+        panel = _make_panel(rng)
+        assert panel.pack().nbytes == panel.nbytes
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Panel(k=0, j0=0, jb=3, w=np.zeros((2, 2)),
+                  ipiv=np.zeros(3, dtype=np.int64), l2=np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            Panel(k=0, j0=0, jb=2, w=np.zeros((2, 2)),
+                  ipiv=np.zeros(3, dtype=np.int64), l2=np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            Panel(k=0, j0=0, jb=2, w=np.zeros((2, 2)),
+                  ipiv=np.zeros(2, dtype=np.int64), l2=np.zeros((4, 3)))
+
+
+class TestBroadcastPanel:
+    @pytest.mark.parametrize("algo", list(BcastVariant))
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_all_ranks_receive_equal_panel(self, algo, root, rng):
+        src = _make_panel(rng)
+
+        def main(comm):
+            panel = src if comm.rank == root else None
+            got = broadcast_panel(comm, panel, root, algo)
+            return (got.k, got.j0, got.jb, got.w.copy(), got.ipiv.copy(),
+                    got.l2.copy())
+
+        for k, j0, jb, w, ipiv, l2 in spmd(3, main):
+            assert (k, j0, jb) == (src.k, src.j0, src.jb)
+            assert np.array_equal(w, src.w)
+            assert np.array_equal(ipiv, src.ipiv)
+            assert np.array_equal(l2, src.l2)
+
+    def test_single_rank_row_is_noop(self, rng):
+        src = _make_panel(rng)
+
+        def main(comm):
+            return broadcast_panel(comm, src, 0, BcastVariant.ONE_RING_M) is src
+
+        assert spmd(1, main)[0]
+
+    def test_traffic_attributed_to_lbcast_phase(self, rng):
+        from repro.simmpi import Fabric, run_spmd
+
+        src = _make_panel(rng)
+        fabric = Fabric(2, watchdog=30.0)
+
+        def main(comm):
+            panel = src if comm.rank == 0 else None
+            broadcast_panel(comm, panel, 0, BcastVariant.ONE_RING)
+            return None
+
+        run_spmd(2, main, fabric=fabric)
+        assert fabric.stats[0].phases["LBCAST"].bytes_sent == src.nbytes
+        assert fabric.stats[1].phases["LBCAST"].bytes_recv == src.nbytes

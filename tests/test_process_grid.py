@@ -1,0 +1,107 @@
+"""Process grid construction and sub-communicator wiring (paper Fig. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.grid import ProcessGrid
+
+from .conftest import spmd
+
+
+class TestCoordinates:
+    @pytest.mark.parametrize("p,q", [(1, 1), (2, 2), (2, 3), (3, 2), (1, 6), (6, 1)])
+    def test_row_major_coords(self, p, q):
+        def main(comm):
+            g = ProcessGrid(comm, p, q)
+            return (g.myrow, g.mycol)
+
+        out = spmd(p * q, main)
+        assert out == [(r // q, r % q) for r in range(p * q)]
+
+    def test_col_major_coords(self):
+        def main(comm):
+            g = ProcessGrid(comm, 2, 3, row_major=False)
+            return (g.myrow, g.mycol)
+
+        out = spmd(6, main)
+        assert out == [(r % 2, r // 2) for r in range(6)]
+
+    def test_rank_of_roundtrip(self):
+        def main(comm):
+            g = ProcessGrid(comm, 2, 3)
+            for rank in range(6):
+                row, col = g.coords_of(rank)
+                assert g.rank_of(row, col) == rank
+            return True
+
+        assert all(spmd(6, main))
+
+    def test_size_mismatch_raises(self):
+        def main(comm):
+            with pytest.raises(ConfigError):
+                ProcessGrid(comm, 2, 2)
+
+        spmd(3, main)
+
+
+class TestSubCommunicators:
+    def test_row_comm_spans_columns(self):
+        """Row communicator rank equals the grid column, and sums check out."""
+
+        def main(comm):
+            g = ProcessGrid(comm, 2, 3)
+            assert g.row_comm.rank == g.mycol and g.row_comm.size == 3
+            assert g.col_comm.rank == g.myrow and g.col_comm.size == 2
+            row_sum = g.row_comm.allreduce(g.mycol, op="sum")
+            col_sum = g.col_comm.allreduce(g.myrow, op="sum")
+            return (row_sum, col_sum)
+
+        for row_sum, col_sum in spmd(6, main):
+            assert row_sum == 0 + 1 + 2
+            assert col_sum == 0 + 1
+
+    def test_fig2_communication_patterns(self):
+        """The paper's Fig. 2 on a 2x2 grid: FACT collectives stay in the
+        process column; LBCAST travels along the process row."""
+
+        def main(comm):
+            g = ProcessGrid(comm, 2, 2)
+            # FACT-style allreduce in column 0 only involves column-0 ranks
+            if g.mycol == 0:
+                pivot = g.col_comm.allreduce((g.myrow + 1) * 10, op="max")
+            else:
+                pivot = None
+            # LBCAST along each row
+            payload = f"L-from-col0-row{g.myrow}" if g.mycol == 0 else None
+            panel = g.row_comm.bcast(payload, root=0)
+            return (pivot, panel)
+
+        out = spmd(4, main)
+        assert out[0] == (20, "L-from-col0-row0")
+        assert out[1] == (None, "L-from-col0-row0")
+        assert out[2] == (20, "L-from-col0-row1")
+        assert out[3] == (None, "L-from-col0-row1")
+
+
+class TestDistributionHelpers:
+    def test_local_rows_cols(self):
+        def main(comm):
+            g = ProcessGrid(comm, 2, 3)
+            return (g.local_rows(10, 2), g.local_cols(10, 2))
+
+        out = spmd(6, main)
+        assert sum(r for r, _ in out) == 10 * 3  # each row count appears q times
+        assert sum(c for _, c in out) == 10 * 2
+
+    def test_owners(self):
+        def main(comm):
+            g = ProcessGrid(comm, 2, 3)
+            return (g.row_owner(5, 2), g.col_owner(5, 2), g.owns_col_block(4, 2))
+
+        out = spmd(6, main)
+        # global index 5, nb 2 -> block 2 -> row owner 2%2=0, col owner 2%3=2
+        assert all(o[0] == 0 and o[1] == 2 for o in out)
+        owns = [o[2] for o in out]  # block 2 of columns -> mycol == 2
+        assert owns == [False, False, True] * 2

@@ -1,0 +1,76 @@
+"""Report formatters and scaling helpers: direct unit coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.report import (
+    format_hpl_banner,
+    format_hpl_footer,
+    format_hpl_line,
+    format_hpl_result_block,
+)
+from repro.perf.scaling import choose_grid, node_local_grid, scaled_n
+
+
+class TestHplOutputBlocks:
+    def test_banner_names_the_columns(self):
+        banner = format_hpl_banner()
+        for col in ("T/V", "N", "NB", "P", "Q", "Time", "Gflops"):
+            assert col in banner
+
+    def test_result_block_passed(self):
+        block = format_hpl_result_block(
+            "W11R2R16", 1000, 512, 2, 4, 12.5, 1.53, 0.0042, True
+        )
+        assert "W11R2R16" in block
+        assert "1000" in block and "512" in block
+        assert "PASSED" in block
+        assert "0.0042" in block
+
+    def test_result_block_failed(self):
+        block = format_hpl_result_block(
+            "W11R2R16", 100, 32, 1, 1, 1.0, 0.001, 99.0, False
+        )
+        assert "FAILED" in block
+
+    def test_footer_counts(self):
+        footer = format_hpl_footer(5, 2)
+        assert "5 tests" in footer.replace("     5", "5")
+        assert "3 tests completed and passed" in footer.replace("     3", "3")
+        assert "2 tests completed and failed" in footer.replace("     2", "2")
+        assert "End of Tests" in footer
+
+    def test_line_units_are_gflops(self):
+        # 1.5 TFLOPS must print as 1.5e3 Gflops
+        line = format_hpl_line(100, 10, 1, 1, 1.0, 1.5)
+        assert "1.5000e+03" in line
+
+
+class TestScalingHelpers:
+    def test_choose_grid_invalid(self):
+        with pytest.raises(ConfigError):
+            choose_grid(0)
+
+    def test_choose_grid_prime(self):
+        assert choose_grid(7) == (7, 1)
+
+    def test_choose_grid_prefers_square(self):
+        assert choose_grid(36) == (6, 6)
+
+    def test_node_local_grid_untileable(self):
+        with pytest.raises(ConfigError):
+            node_local_grid(3, 3)  # 9 ranks cannot host 8-GPU nodes
+
+    def test_node_local_grid_partial_gcd(self):
+        # Q=4 shares gcd 4 with 8 GPUs -> 2x4 local
+        assert node_local_grid(4, 4) == (2, 4)
+
+    def test_scaled_n_alignment(self):
+        for nodes in (1, 2, 3, 7, 100):
+            assert scaled_n(nodes, 250_000, 512) % 512 == 0
+
+    def test_scaled_n_monotone(self):
+        ns = [scaled_n(k, 256_000, 512) for k in (1, 2, 4, 8)]
+        assert ns == sorted(ns)

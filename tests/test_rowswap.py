@@ -1,0 +1,187 @@
+"""Row swapping: net-permutation planning and the distributed exchange."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid import ProcessGrid
+from repro.hpl.matrix import DistMatrix
+from repro.hpl.rowswap import RowSwapper, compute_swap_plan
+
+from .conftest import spmd
+
+
+def _apply_sequential_swaps(a: np.ndarray, ipiv: np.ndarray, j0: int) -> np.ndarray:
+    out = a.copy()
+    for i, piv in enumerate(ipiv):
+        out[[j0 + i, piv]] = out[[piv, j0 + i]]
+    return out
+
+
+@st.composite
+def pivot_sequences(draw):
+    m = draw(st.integers(8, 60))
+    jb = draw(st.integers(1, min(8, m)))
+    j0_blocks = draw(st.integers(0, (m - jb) // max(jb, 1)))
+    j0 = 0  # plans are relative to the trailing matrix start
+    ipiv = np.array(
+        [draw(st.integers(j0 + i, m - 1)) for i in range(jb)], dtype=np.int64
+    )
+    return m, jb, ipiv
+
+
+class TestSwapPlan:
+    @given(pivot_sequences())
+    def test_plan_reproduces_sequential_swaps(self, case):
+        """The net plan must equal the composition of the sequential swaps."""
+        m, jb, ipiv = case
+        a = np.arange(m, dtype=float)[:, None] * np.ones((1, 3))
+        expected = _apply_sequential_swaps(a, ipiv, 0)
+        plan = compute_swap_plan(ipiv, 0, jb)
+        got = a.copy()
+        got[:jb] = a[plan.u_src]
+        if plan.out_dest.size:
+            got[plan.out_dest] = a[plan.out_src]
+        assert np.array_equal(got, expected)
+
+    @given(pivot_sequences())
+    def test_out_sources_inside_block(self, case):
+        m, jb, ipiv = case
+        plan = compute_swap_plan(ipiv, 0, jb)
+        assert np.all(plan.out_src >= 0)
+        assert np.all(plan.out_src < jb)
+        assert np.all(plan.out_dest >= jb)
+
+    @given(pivot_sequences())
+    def test_u_sources_distinct(self, case):
+        m, jb, ipiv = case
+        plan = compute_swap_plan(ipiv, 0, jb)
+        assert len(set(plan.u_src.tolist())) == jb
+
+    def test_identity_pivots_make_empty_out(self):
+        plan = compute_swap_plan(np.arange(4, dtype=np.int64), 0, 4)
+        assert plan.out_dest.size == 0
+        assert np.array_equal(plan.u_src, np.arange(4))
+
+    def test_offset_block(self):
+        ipiv = np.array([10, 7], dtype=np.int64)
+        plan = compute_swap_plan(ipiv, 6, 2)
+        a = np.arange(12, dtype=float)[:, None]
+        expected = _apply_sequential_swaps(a, ipiv, 6)
+        got = a.copy()
+        got[6:8] = a[plan.u_src]
+        got[plan.out_dest] = a[plan.out_src]
+        assert np.array_equal(got, expected)
+
+    def test_pivot_above_current_rejected(self):
+        with pytest.raises(ValueError):
+            compute_swap_plan(np.array([3, 0], dtype=np.int64), 2, 2)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            compute_swap_plan(np.array([0, 1], dtype=np.int64), 0, 3)
+
+
+class TestDistributedSwap:
+    @pytest.mark.parametrize("p,q", [(1, 1), (2, 1), (3, 1), (2, 2), (3, 2)])
+    def test_swap_matches_serial(self, p, q):
+        """Distributed gather/communicate/scatter equals serial row swaps
+        on the trailing columns, and U holds the post-swap block rows."""
+        n, nb = 24, 4
+        j0, jb = 4, 4
+        ipiv = np.array([9, 17, 6, 12], dtype=np.int64)
+        plan = compute_swap_plan(ipiv, j0, jb)
+
+        def main(comm):
+            grid = ProcessGrid(comm, p, q)
+            mat = DistMatrix(grid, n, nb, seed=5)
+            lo = mat.local_cols_from(j0 + jb)
+            sw = RowSwapper(mat, plan, lo, mat.nloc_aug)
+            sw.gather()
+            sw.communicate()
+            sw.scatter_back()
+            u = sw.u
+            sw.store_u(u)  # store raw U (no DTRSM) to compare contents
+            return mat.gather_global(), (grid.mycol, u)
+
+        outs = spmd(p * q, main)
+        full = outs[0][0]
+        from repro.hpl.matrix import generate_global
+
+        a_ref, b_ref = generate_global(n, 5)
+        aug = np.concatenate([a_ref, b_ref[:, None]], axis=1)
+        expected = aug.copy()
+        expected[:, j0 + jb :] = _apply_sequential_swaps(aug, ipiv, j0)[:, j0 + jb :]
+        assert np.allclose(full, expected)
+        # each grid column's U = the swapped block rows of its local columns
+        for _, (mycol, u) in outs:
+            assert u.shape[0] == jb
+
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_column_sections_compose(self, p):
+        """Swapping [lo, mid) and [mid, hi) separately equals one swap."""
+        n, nb = 20, 4
+        j0, jb = 0, 4
+        ipiv = np.array([5, 13, 2, 19], dtype=np.int64)
+        plan = compute_swap_plan(ipiv, j0, jb)
+
+        def main(comm, split):
+            grid = ProcessGrid(comm, p, 1)
+            mat = DistMatrix(grid, n, nb, seed=9)
+            lo = mat.local_cols_from(j0 + jb)
+            sections = (
+                [(lo, mat.nloc_aug)]
+                if not split
+                else [(lo, lo + 8), (lo + 8, mat.nloc_aug)]
+            )
+            for a, b in sections:
+                sw = RowSwapper(mat, plan, a, b)
+                sw.gather()
+                sw.communicate()
+                sw.scatter_back()
+                sw.store_u(sw.u)
+            return mat.gather_global()
+
+        whole = spmd(p, main, False)[0]
+        pieces = spmd(p, main, True)[0]
+        assert np.allclose(whole, pieces)
+
+    def test_zero_width_section(self):
+        def main(comm):
+            grid = ProcessGrid(comm, 2, 1)
+            mat = DistMatrix(grid, 8, 2, seed=1)
+            plan = compute_swap_plan(np.array([3, 5], dtype=np.int64), 0, 2)
+            sw = RowSwapper(mat, plan, 4, 4)  # empty column range
+            sw.gather()
+            sw.communicate()
+            sw.scatter_back()
+            return sw.u.shape
+
+        assert spmd(2, main) == [(2, 0), (2, 0)]
+
+    def test_stage_order_enforced(self):
+        def main(comm):
+            grid = ProcessGrid(comm, 1, 1)
+            mat = DistMatrix(grid, 8, 2, seed=1)
+            plan = compute_swap_plan(np.array([1, 3], dtype=np.int64), 0, 2)
+            sw = RowSwapper(mat, plan, 2, 4)
+            with pytest.raises(RuntimeError):
+                sw.communicate()
+            sw.gather()
+            with pytest.raises(RuntimeError):
+                sw.scatter_back()
+            return True
+
+        assert spmd(1, main)[0]
+
+    def test_bad_column_range(self):
+        def main(comm):
+            grid = ProcessGrid(comm, 1, 1)
+            mat = DistMatrix(grid, 8, 2, seed=1)
+            plan = compute_swap_plan(np.array([0], dtype=np.int64), 0, 1)
+            with pytest.raises(ValueError):
+                RowSwapper(mat, plan, 5, 200)
+
+        spmd(1, main)

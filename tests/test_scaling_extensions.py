@@ -1,0 +1,69 @@
+"""Strong scaling and the full-Frontier projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.frontier import (
+    FRONTIER_NODES,
+    FRONTIER_TOP500_TFLOPS,
+    frontier_cluster,
+)
+from repro.perf.scaling import (
+    strong_scaling,
+    strong_scaling_efficiency,
+    weak_scaling,
+    weak_scaling_efficiency,
+)
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return strong_scaling(131_072, [1, 2, 4, 8])
+
+    def test_score_rises_sublinearly(self, points):
+        scores = [p.tflops for p in points]
+        assert scores == sorted(scores)
+        assert scores[-1] < 8 * scores[0]  # not perfectly scalable
+
+    def test_efficiency_decays_faster_than_weak(self, points):
+        strong_eff = strong_scaling_efficiency(points)
+        weak_eff = weak_scaling_efficiency(weak_scaling([1, 2, 4, 8]))
+        assert strong_eff[0] == pytest.approx(1.0)
+        assert strong_eff[-1] < weak_eff[-1]
+
+    def test_n_held_fixed(self, points):
+        assert len({p.n for p in points}) == 1
+
+
+class TestFrontierProjection:
+    def test_full_machine_lands_near_top500(self):
+        """Within ~25 % above the 1.102 EF measurement: the model has no
+        dragonfly congestion, so it must overshoot, but not wildly."""
+        from repro.perf.hplsim import simulate_run
+        from repro.perf.ledger import PerfConfig
+        from repro.perf.scaling import choose_grid, node_local_grid, scaled_n
+
+        p, q = choose_grid(FRONTIER_NODES * 8)
+        pl, ql = node_local_grid(p, q)
+        cfg = PerfConfig(
+            n=scaled_n(FRONTIER_NODES, 256_000, 512),
+            nb=512, p=p, q=q, pl=pl, ql=ql,
+        )
+        report = simulate_run(cfg, frontier_cluster())
+        ratio = report.score_tflops / FRONTIER_TOP500_TFLOPS
+        assert 1.0 <= ratio <= 1.30
+        # power lands in the published ballpark too (~21 MW, ~52 GF/W)
+        from repro.machine.power_model import energy_of_run
+
+        energy = energy_of_run(
+            report, frontier_cluster().node, node_count=FRONTIER_NODES
+        )
+        assert 18e6 <= energy.mean_total_w <= 28e6
+        assert 40 <= energy.gflops_per_w <= 65
+
+    def test_frontier_cluster_defaults(self):
+        cluster = frontier_cluster()
+        assert cluster.nnodes == FRONTIER_NODES
+        assert cluster.max_n() > 20_000_000

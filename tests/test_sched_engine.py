@@ -1,0 +1,152 @@
+"""The in-order-resource discrete-event engine: laws and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ScheduleError
+from repro.sched import Task, simulate
+
+
+class TestBasics:
+    def test_chain_on_one_resource(self):
+        a = Task("a", 1.0, "r")
+        b = Task("b", 2.0, "r")
+        result = simulate([a, b])
+        assert (a.start, a.end) == (0.0, 1.0)
+        assert (b.start, b.end) == (1.0, 3.0)
+        assert result.makespan == 3.0
+
+    def test_independent_resources_overlap(self):
+        a = Task("a", 5.0, "gpu")
+        b = Task("b", 3.0, "cpu")
+        result = simulate([a, b])
+        assert b.start == 0.0 and result.makespan == 5.0
+
+    def test_dependency_across_resources(self):
+        a = Task("a", 2.0, "gpu")
+        b = Task("b", 1.0, "cpu", deps=[a])
+        simulate([a, b])
+        assert b.start == 2.0
+
+    def test_in_order_resource_blocks_later_submissions(self):
+        """A HIP-stream-like property: a task submitted behind a blocked
+        task waits even if its own deps are ready."""
+        slow_dep = Task("dep", 10.0, "cpu")
+        blocked = Task("blocked", 1.0, "gpu", deps=[slow_dep])
+        eager = Task("eager", 1.0, "gpu")  # submitted after `blocked`
+        simulate([slow_dep, blocked, eager])
+        assert eager.start == 11.0
+
+    def test_pure_dependency_node(self):
+        a = Task("a", 1.0, "r")
+        marker = Task("m", 0.0, None, deps=[a])
+        b = Task("b", 1.0, "r", deps=[marker])
+        result = simulate([a, marker, b])
+        assert b.start == 1.0
+        assert "m" not in [t.name for t in result.tasks if t.resource]
+
+    def test_resource_busy_accounting(self):
+        result = simulate([Task("a", 1.5, "gpu"), Task("b", 2.5, "gpu"),
+                           Task("c", 1.0, "cpu")])
+        assert result.resource_busy == {"gpu": 4.0, "cpu": 1.0}
+
+    def test_tag_queries(self):
+        a = Task("a", 1.0, "gpu", tag=0, phase="GPU")
+        b = Task("b", 2.0, "mpi", tag=0, phase="MPI")
+        c = Task("c", 3.0, "gpu", tag=1, phase="GPU")
+        result = simulate([a, b, c])
+        assert result.span_of_tag(0) == (0.0, 2.0)
+        assert result.busy_in_tag(0, "gpu") == 1.0
+        assert result.phase_in_tag(0, "MPI") == 2.0
+        with pytest.raises(ScheduleError):
+            result.span_of_tag(7)
+
+
+class TestValidation:
+    def test_forward_dependency_rejected(self):
+        b = Task("b", 1.0, "r")
+        a = Task("a", 1.0, "r", deps=[b])
+        with pytest.raises(ScheduleError, match="topological"):
+            simulate([a, b])
+
+    def test_unknown_dependency_rejected(self):
+        ghost = Task("ghost", 1.0, "r")
+        a = Task("a", 1.0, "r", deps=[ghost])
+        with pytest.raises(ScheduleError, match="unsubmitted"):
+            simulate([a])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            simulate([Task("a", -1.0, "r")])
+
+    def test_duplicate_task_rejected(self):
+        a = Task("a", 1.0, "r")
+        with pytest.raises(ScheduleError):
+            simulate([a, a])
+
+    def test_empty_list(self):
+        assert simulate([]).makespan == 0.0
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAGs in topological submission order."""
+    n = draw(st.integers(1, 25))
+    resources = ["gpu", "cpu", "mpi", None]
+    tasks: list[Task] = []
+    for i in range(n):
+        deps = []
+        if i:
+            for j in draw(st.lists(st.integers(0, i - 1), max_size=3, unique=True)):
+                deps.append(tasks[j])
+        tasks.append(
+            Task(
+                f"t{i}",
+                draw(st.floats(0.0, 10.0, allow_nan=False)),
+                draw(st.sampled_from(resources)),
+                deps=deps,
+            )
+        )
+    return tasks
+
+
+class TestProperties:
+    @given(random_dags())
+    def test_start_after_deps_and_durations_respected(self, tasks):
+        result = simulate(tasks)
+        for t in tasks:
+            assert t.end == pytest.approx(t.start + t.duration)
+            for d in t.deps:
+                assert t.start >= d.end - 1e-12
+
+    @given(random_dags())
+    def test_resources_never_overlap(self, tasks):
+        simulate(tasks)
+        by_res: dict[str, list[Task]] = {}
+        for t in tasks:
+            if t.resource:
+                by_res.setdefault(t.resource, []).append(t)
+        for group in by_res.values():
+            ordered = sorted(group, key=lambda t: t.start)
+            for first, second in zip(ordered, ordered[1:]):
+                assert second.start >= first.end - 1e-12
+
+    @given(random_dags())
+    def test_makespan_bounds(self, tasks):
+        result = simulate(tasks)
+        if tasks:
+            assert result.makespan >= max(
+                (busy for busy in result.resource_busy.values()), default=0.0
+            ) - 1e-12
+            assert result.makespan <= sum(t.duration for t in tasks) + 1e-9
+
+    @given(random_dags())
+    def test_deterministic(self, tasks):
+        import copy
+
+        clone = copy.deepcopy(tasks)
+        r1, r2 = simulate(tasks), simulate(clone)
+        for a, b in zip(r1.tasks, r2.tasks):
+            assert a.start == b.start and a.end == b.end

@@ -1,0 +1,235 @@
+"""Collective algorithm semantics, across sizes, roots, and algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import BcastVariant
+from repro.errors import CommError
+
+from .conftest import spmd
+
+ALL_BCASTS = [v.value for v in BcastVariant]
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("algo", ALL_BCASTS)
+    @pytest.mark.parametrize("size", SIZES)
+    def test_every_rank_gets_array(self, algo, size):
+        def main(comm):
+            payload = np.arange(23.0) if comm.rank == comm.size - 1 else None
+            return comm.bcast(payload, root=comm.size - 1, algo=algo)
+
+        for out in spmd(size, main):
+            assert np.array_equal(out, np.arange(23.0))
+
+    @pytest.mark.parametrize("algo", ALL_BCASTS)
+    def test_every_root(self, algo):
+        size = 5
+
+        def main(comm):
+            got = []
+            for root in range(comm.size):
+                value = ("obj", root) if comm.rank == root else None
+                got.append(comm.bcast(value, root=root, algo=algo))
+            return got
+
+        for out in spmd(size, main):
+            assert out == [("obj", r) for r in range(size)]
+
+    @pytest.mark.parametrize("algo", ALL_BCASTS)
+    def test_2d_array_payload(self, algo):
+        def main(comm):
+            payload = np.ones((4, 6), order="F") * 2 if comm.rank == 0 else None
+            return comm.bcast(payload, root=0, algo=algo)
+
+        for out in spmd(4, main):
+            assert out.shape == (4, 6) and np.all(out == 2.0)
+
+    def test_unknown_algo_raises(self):
+        def main(comm):
+            with pytest.raises(CommError):
+                comm.bcast(1, root=0, algo="bogus")
+
+        spmd(2, main)
+
+    def test_bad_root_raises(self):
+        def main(comm):
+            with pytest.raises(CommError):
+                comm.bcast(1, root=7)
+
+        spmd(2, main)
+
+    def test_back_to_back_broadcasts_do_not_cross(self):
+        def main(comm):
+            a = comm.bcast(1 if comm.rank == 0 else None, root=0, algo="1ring")
+            b = comm.bcast(2 if comm.rank == 0 else None, root=0, algo="1ring")
+            return (a, b)
+
+        for out in spmd(4, main):
+            assert out == (1, 2)
+
+
+class TestReductions:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_sum_scalar(self, size):
+        out = spmd(size, lambda c: c.allreduce(c.rank + 1, op="sum"))
+        assert out == [size * (size + 1) // 2] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_max_min(self, size):
+        def main(comm):
+            return (
+                comm.allreduce(comm.rank, op="max"),
+                comm.allreduce(comm.rank, op="min"),
+            )
+
+        assert spmd(size, main) == [(size - 1, 0)] * size
+
+    def test_allreduce_array_sum(self):
+        def main(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), op="sum")
+
+        for out in spmd(5, main):
+            assert np.array_equal(out, np.full(3, 10.0))
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=6))
+    def test_allreduce_sum_matches_python_sum(self, values):
+        out = spmd(len(values), lambda c: c.allreduce(values[c.rank], op="sum"))
+        assert out == [sum(values)] * len(values)
+
+    def test_allreduce_custom_maxloc(self):
+        def maxloc(a, b):
+            return a if (a[0], -a[1]) >= (b[0], -b[1]) else b
+
+        vals = [3.0, 9.0, 9.0, 1.0]
+
+        def main(comm):
+            return comm.allreduce((vals[comm.rank], comm.rank), op=maxloc)
+
+        # ties break to the lower index, deterministically on every rank
+        assert spmd(4, main) == [(9.0, 1)] * 4
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_to_root(self, size):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op="sum", root=size - 1)
+
+        out = spmd(size, main)
+        assert out[size - 1] == size * (size + 1) // 2
+        assert all(v is None for v in out[: size - 1])
+
+    def test_unknown_op_raises(self):
+        def main(comm):
+            with pytest.raises(CommError):
+                comm.allreduce(1, op="median")
+
+        spmd(2, main)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather(self, size):
+        out = spmd(size, lambda c: c.gather(c.rank**2, root=0))
+        assert out[0] == [r**2 for r in range(size)]
+        assert all(v is None for v in out[1:])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        out = spmd(size, lambda c: c.allgather(c.rank))
+        assert out == [list(range(size))] * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        def main(comm):
+            objs = [f"item{r}" for r in range(size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert spmd(size, main) == [f"item{r}" for r in range(size)]
+
+    def test_scatter_wrong_count_raises(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(CommError):
+                    comm.scatter([1], root=0)
+                raise RuntimeError("expected")  # unblock peers deterministically
+            comm.recv(0)
+
+        from repro.errors import SpmdError
+
+        with pytest.raises(SpmdError):
+            spmd(2, main)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatterv_variable_chunks(self, size):
+        def main(comm):
+            chunks = None
+            if comm.rank == 0:
+                chunks = [np.full(r + 1, float(r)) for r in range(size)]
+            return comm.scatterv(chunks, root=0)
+
+        out = spmd(size, main)
+        for r, chunk in enumerate(out):
+            assert np.array_equal(chunk, np.full(r + 1, float(r)))
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgatherv_reassembles(self, size):
+        def main(comm):
+            chunk = np.arange(comm.rank + 1, dtype=float) + 100 * comm.rank
+            return comm.allgatherv(chunk)
+
+        for out in spmd(size, main):
+            assert len(out) == size
+            for r, part in enumerate(out):
+                assert np.array_equal(part, np.arange(r + 1, dtype=float) + 100 * r)
+
+    def test_allgatherv_2d_fortran_chunks(self):
+        def main(comm):
+            chunk = np.asfortranarray(np.full((comm.rank, 3), float(comm.rank)))
+            parts = comm.allgatherv(chunk)
+            return np.concatenate(parts, axis=0)
+
+        for out in spmd(4, main):
+            assert out.shape == (0 + 1 + 2 + 3, 3)
+
+    @given(st.integers(1, 6), st.integers(0, 20))
+    def test_gatherv_roundtrip(self, size, extra):
+        def main(comm):
+            chunk = np.full(comm.rank + extra, float(comm.rank))
+            parts = comm.gatherv(chunk, root=0)
+            if comm.rank == 0:
+                return np.concatenate(parts)
+            return None
+
+        out = spmd(size, main)[0]
+        expected = np.concatenate(
+            [np.full(r + extra, float(r)) for r in range(size)]
+        )
+        assert np.array_equal(out, expected)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_barrier_completes(self, size):
+        def main(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(spmd(size, main))
+
+    def test_barrier_orders_sides(self):
+        """Post-barrier receives see pre-barrier sends."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("early", 1)
+            comm.barrier()
+            if comm.rank == 1:
+                assert comm.iprobe(0)
+                return comm.recv(0)
+
+        assert spmd(2, main)[1] == "early"

@@ -1,0 +1,139 @@
+"""Communicator split/dup semantics and traffic statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi import Fabric, run_spmd
+
+from .conftest import spmd
+
+
+class TestSplit:
+    def test_split_into_rows(self):
+        def main(comm):
+            row = comm.rank // 3
+            sub = comm.split(color=row, key=comm.rank % 3)
+            return (sub.rank, sub.size, sub.allreduce(comm.rank, op="sum"))
+
+        out = spmd(6, main)
+        # ranks 0,1,2 -> row 0; ranks 3,4,5 -> row 1
+        assert [o[:2] for o in out] == [(0, 3), (1, 3), (2, 3)] * 2
+        assert [o[2] for o in out] == [3, 3, 3, 12, 12, 12]
+
+    def test_split_key_reorders_ranks(self):
+        def main(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        assert spmd(4, main) == [3, 2, 1, 0]
+
+    def test_split_none_color_returns_none(self):
+        def main(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            if comm.rank == 0:
+                return sub is None
+            return sub.size
+
+        out = spmd(3, main)
+        assert out[0] is True and out[1:] == [2, 2]
+
+    def test_subcomm_isolated_from_parent(self):
+        """Messages in a sub-communicator never match parent receives."""
+
+        def main(comm):
+            sub = comm.split(color=0, key=comm.rank)
+            if comm.rank == 0:
+                sub.send("sub", 1, tag=7)
+                comm.send("parent", 1, tag=7)
+            else:
+                from_parent = comm.recv(0, tag=7)
+                from_sub = sub.recv(0, tag=7)
+                return (from_parent, from_sub)
+
+        assert spmd(2, main)[1] == ("parent", "sub")
+
+    def test_nested_splits(self):
+        def main(comm):
+            half = comm.split(color=comm.rank // 2, key=comm.rank)
+            pair = half.split(color=0, key=half.rank)
+            return pair.allreduce(1, op="sum")
+
+        assert spmd(4, main) == [2, 2, 2, 2]
+
+    def test_dup_gives_fresh_context(self):
+        def main(comm):
+            dup = comm.dup()
+            assert dup.size == comm.size and dup.rank == comm.rank
+            if comm.rank == 0:
+                dup.send(1, 1, tag=2)
+            elif comm.rank == 1:
+                return dup.recv(0, tag=2)
+
+        assert spmd(2, main)[1] == 1
+
+    def test_world_rank_preserved_through_split(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return sub.world_rank
+
+        assert spmd(4, main) == [0, 1, 2, 3]
+
+
+class TestStats:
+    def test_send_bytes_counted_by_phase(self):
+        fabric = Fabric(2, watchdog=30.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                with comm.phase("RS"):
+                    comm.send(np.zeros(100), 1)  # 800 bytes
+                comm.send(np.zeros(10), 1)  # 80 bytes, phase "other"
+            else:
+                comm.recv(0)
+                comm.recv(0)
+
+        run_spmd(2, main, fabric=fabric)
+        stats = fabric.stats[0]
+        assert stats.phases["RS"].bytes_sent == 800
+        assert stats.phases["RS"].msgs_sent == 1
+        assert stats.phases["other"].bytes_sent == 80
+        assert stats.total.bytes_sent == 880
+
+    def test_recv_counted(self):
+        fabric = Fabric(2, watchdog=30.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(4), 1)
+            else:
+                with comm.phase("LBCAST"):
+                    comm.recv(0)
+
+        run_spmd(2, main, fabric=fabric)
+        assert fabric.stats[1].phases["LBCAST"].bytes_recv == 32
+
+    def test_phase_nesting_restores_label(self):
+        fabric = Fabric(1, watchdog=30.0)
+
+        def main(comm):
+            with comm.phase("A"):
+                with comm.phase("B"):
+                    pass
+                assert comm.stats.current_phase == "A"
+            assert comm.stats.current_phase == "other"
+
+        run_spmd(1, main, fabric=fabric)
+
+    def test_reset(self):
+        fabric = Fabric(2, watchdog=30.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, 1)
+            else:
+                comm.recv(0)
+
+        run_spmd(2, main, fabric=fabric)
+        fabric.stats[0].reset()
+        assert fabric.stats[0].total.msgs_sent == 0

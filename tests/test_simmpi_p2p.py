@@ -1,0 +1,172 @@
+"""Point-to-point semantics of the simulated MPI runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError, DeadlockError, SpmdError
+from repro.simmpi import ANY_SOURCE, ANY_TAG, Fabric, run_spmd
+
+from .conftest import spmd
+
+
+class TestSendRecv:
+    def test_basic_roundtrip(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1, "arr": np.arange(3.0)}, 1, tag=5)
+                return None
+            payload = comm.recv(0, tag=5)
+            return payload
+
+        out = spmd(2, main)
+        assert out[1]["x"] == 1
+        assert np.array_equal(out[1]["arr"], np.arange(3.0))
+
+    def test_buffer_semantics_sender_may_overwrite(self):
+        """Payloads are copied at send time (MPI eager semantics)."""
+
+        def main(comm):
+            if comm.rank == 0:
+                buf = np.ones(4)
+                comm.send(buf, 1)
+                buf[:] = -1.0  # must not affect the receiver
+            else:
+                return comm.recv(0)
+
+        out = spmd(2, main)
+        assert np.array_equal(out[1], np.ones(4))
+
+    def test_receiver_owns_payload(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(2), 1)
+                comm.send(np.zeros(2), 1)
+            else:
+                a = comm.recv(0)
+                a[:] = 7.0
+                b = comm.recv(0)
+                return b
+
+        out = spmd(2, main)
+        assert np.array_equal(out[1], np.zeros(2))
+
+    def test_fifo_order_same_source_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1, tag=3)
+            else:
+                return [comm.recv(0, tag=3) for _ in range(10)]
+
+        assert spmd(2, main)[1] == list(range(10))
+
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+            else:
+                second = comm.recv(0, tag=2)
+                first = comm.recv(0, tag=1)
+                return (first, second)
+
+        assert spmd(2, main)[1] == ("a", "b")
+
+    def test_any_source_any_tag(self):
+        def main(comm):
+            if comm.rank == 2:
+                got = [comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(2)]
+                return sorted(got)
+            comm.send(comm.rank, 2, tag=comm.rank)
+
+        assert spmd(3, main)[2] == [0, 1]
+
+    def test_recv_status_reports_source_and_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("hi", 1, tag=9)
+            else:
+                payload, source, tag = comm.recv_status()
+                return payload, source, tag
+
+        assert spmd(2, main)[1] == ("hi", 0, 9)
+
+    def test_sendrecv_exchange(self):
+        def main(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(comm.rank * 10, other, other)
+
+        assert spmd(2, main) == [10, 0]
+
+    def test_isend_irecv(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(5), 1)
+                req.wait()
+            else:
+                req = comm.irecv(0)
+                done, _ = req.test()  # may or may not be ready yet
+                assert isinstance(done, bool)
+                return req.wait()
+
+        assert np.array_equal(spmd(2, main)[1], np.arange(5))
+
+    def test_iprobe(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag=4)
+                comm.barrier()
+            else:
+                comm.barrier()
+                assert comm.iprobe(0, 4)
+                assert not comm.iprobe(0, 5)
+                return comm.recv(0, 4)
+
+        assert spmd(2, main)[1] == 1
+
+    def test_invalid_peer_raises(self):
+        def main(comm):
+            with pytest.raises(CommError):
+                comm.send(1, 5)
+
+        spmd(2, main)
+
+    def test_reserved_tag_rejected(self):
+        def main(comm):
+            with pytest.raises(CommError):
+                comm.send(1, 0, tag=1 << 25)
+
+        spmd(1, main)
+
+
+class TestFailureModes:
+    def test_deadlock_watchdog(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(1, tag=0)  # never sent
+
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(2, main, watchdog=0.3)
+        assert any(
+            isinstance(e, DeadlockError) for e in exc_info.value.failures.values()
+        )
+
+    def test_rank_exception_propagates_and_unblocks_peers(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(0)  # would deadlock without abort propagation
+
+        with pytest.raises(SpmdError) as exc_info:
+            spmd(2, main)
+        assert isinstance(exc_info.value.failures[0], ValueError)
+        assert 1 not in exc_info.value.failures  # AbortError is secondary
+
+    def test_fabric_size_mismatch(self):
+        with pytest.raises(ValueError):
+            run_spmd(3, lambda c: None, fabric=Fabric(2))
+
+    def test_results_in_rank_order(self):
+        assert spmd(5, lambda c: c.rank * 2) == [0, 2, 4, 6, 8]

@@ -1,0 +1,158 @@
+"""The tiled worker pool: round-robin ownership, barriers, reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blas.threaded import ParallelContext, TileWorkerPool, tile_slices
+
+
+class TestTileSlices:
+    def test_round_robin_assignment(self):
+        """Paper Fig. 4: tile t belongs to thread t % T; thread 0 gets the
+        first tile (which holds the triangle and pivot source rows)."""
+        slices = {t: tile_slices(100, 10, t, 4) for t in range(4)}
+        assert slices[0][0] == slice(0, 10)
+        assert slices[1][0] == slice(10, 20)
+        assert slices[0] == [slice(0, 10), slice(40, 50), slice(80, 90)]
+        assert slices[3] == [slice(30, 40), slice(70, 80)]
+
+    def test_partition_covers_all_rows(self):
+        for nrows in [0, 1, 9, 10, 95, 101]:
+            for nthreads in [1, 2, 3, 7]:
+                rows = []
+                for t in range(nthreads):
+                    for sl in tile_slices(nrows, 10, t, nthreads):
+                        rows.extend(range(sl.start, sl.stop))
+                assert sorted(rows) == list(range(nrows))
+
+    def test_short_final_tile(self):
+        assert tile_slices(25, 10, 2, 3) == [slice(20, 25)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tile_slices(10, 0, 0, 1)
+        with pytest.raises(ValueError):
+            tile_slices(10, 5, 3, 2)
+
+
+class TestPool:
+    def test_all_threads_run(self):
+        with TileWorkerPool(4) as pool:
+            seen = [False] * 4
+
+            def region(ctx):
+                seen[ctx.tid] = True
+
+            pool.run(region)
+        assert all(seen)
+
+    def test_single_thread_runs_inline(self):
+        pool = TileWorkerPool(1)
+        assert pool.run(lambda ctx: ctx.tid) == 0
+        pool.shutdown()
+
+    def test_reduce_deterministic_maxloc(self):
+        with TileWorkerPool(5) as pool:
+            vals = [3.0, 9.0, 1.0, 9.0, 2.0]
+            results = [None] * 5
+
+            def region(ctx):
+                got = ctx.reduce(
+                    (vals[ctx.tid], ctx.tid),
+                    lambda a, b: a if (a[0], -a[1]) >= (b[0], -b[1]) else b,
+                )
+                results[ctx.tid] = got
+
+            pool.run(region)
+        assert results == [(9.0, 1)] * 5  # ties break to the lower tid
+
+    def test_bcast_from_nonzero_root(self):
+        with TileWorkerPool(3) as pool:
+            results = [None] * 3
+
+            def region(ctx):
+                value = "payload" if ctx.tid == 2 else None
+                results[ctx.tid] = ctx.bcast(value, root=2)
+
+            pool.run(region)
+        assert results == ["payload"] * 3
+
+    def test_barrier_ordering(self):
+        """Writes before a barrier are visible after it."""
+        with TileWorkerPool(4) as pool:
+            data = np.zeros(4)
+            ok = [False] * 4
+
+            def region(ctx):
+                data[ctx.tid] = ctx.tid + 1
+                ctx.barrier()
+                ok[ctx.tid] = data.sum() == 10
+
+            pool.run(region)
+        assert all(ok)
+
+    def test_pool_reusable_across_regions(self):
+        with TileWorkerPool(3) as pool:
+            total = []
+            for i in range(5):
+                acc = np.zeros(3)
+
+                def region(ctx, acc=acc, i=i):
+                    acc[ctx.tid] = i
+
+                pool.run(region)
+                total.append(acc.sum())
+        assert total == [0.0, 3.0, 6.0, 9.0, 12.0]
+
+    def test_exception_propagates_from_worker(self):
+        with TileWorkerPool(3) as pool:
+            def region(ctx):
+                if ctx.tid == 1:
+                    raise RuntimeError("worker boom")
+                ctx.barrier()  # would hang without barrier abort
+
+            with pytest.raises(RuntimeError, match="worker boom"):
+                pool.run(region)
+            # pool still usable afterwards
+            assert pool.run(lambda ctx: "ok") == "ok"
+
+    def test_exception_propagates_from_main(self):
+        with TileWorkerPool(2) as pool:
+            def region(ctx):
+                if ctx.tid == 0:
+                    raise ValueError("main boom")
+                ctx.barrier()
+
+            with pytest.raises(ValueError, match="main boom"):
+                pool.run(region)
+
+    def test_returns_main_thread_result(self):
+        with TileWorkerPool(2) as pool:
+            assert pool.run(lambda ctx: ctx.tid * 10 + 7) == 7
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            TileWorkerPool(0)
+
+    def test_shutdown_idempotent(self):
+        pool = TileWorkerPool(2)
+        pool.run(lambda ctx: None)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_parallel_tile_sum(self):
+        """Threads cooperatively process disjoint tiles of shared data."""
+        with TileWorkerPool(3) as pool:
+            data = np.arange(50.0)
+            partial = np.zeros(3)
+
+            def region(ctx):
+                acc = 0.0
+                for sl in ctx.tile_slices(50, 8):
+                    acc += data[sl].sum()
+                partial[ctx.tid] = acc
+
+            pool.run(region)
+        assert partial.sum() == data.sum()

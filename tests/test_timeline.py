@@ -1,0 +1,139 @@
+"""Timeline builders: the overlap structure of the paper's Figs. 3 and 6.
+
+These tests assert the *qualitative claims* of the paper on synthetic
+costs: look-ahead hides FACT and LBCAST but leaves RS exposed (Fig. 3);
+the split update hides RS1 under UPDATE2 and RS2 under UPDATE1 (Fig. 6);
+and the classic schedule hides nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sched import IterCosts, build_run, simulate
+from repro.sched.timeline import SectionCosts
+
+
+def _costs(mode: str, k: int, *, dgemm_big=1.0, comm=0.1, fact=0.3) -> IterCosts:
+    """Synthetic iteration costs with a big trailing update."""
+    half = dgemm_big / 2
+    if mode == "split":
+        la = SectionCosts(0.01, comm / 4, 0.01, 0.005, 0.05)
+        left = SectionCosts(0.01, comm, 0.01, 0.005, half)
+        right = SectionCosts(0.01, comm, 0.01, 0.005, half)
+    elif mode == "lookahead":
+        la = SectionCosts(0.01, comm / 4, 0.01, 0.005, 0.05)
+        left = SectionCosts(0.02, comm * 2, 0.02, 0.01, dgemm_big)
+        right = SectionCosts()
+    else:
+        la = SectionCosts()
+        left = SectionCosts(0.02, comm * 2, 0.02, 0.01, dgemm_big)
+        right = SectionCosts()
+    return IterCosts(
+        k=k, mode=mode, fact=fact, lbcast=0.05, d2h=0.02, h2d=0.02,
+        la=la, left=left, right=right,
+    )
+
+
+def _preamble() -> IterCosts:
+    return IterCosts(k=-1, mode="preamble", fact=0.3, lbcast=0.05,
+                     d2h=0.02, h2d=0.02)
+
+
+def _run(mode: str, iters: int = 6, **kw):
+    costs = [] if mode == "classic" else [_preamble()]
+    costs += [_costs(mode, k, **kw) for k in range(iters)]
+    return costs, simulate(build_run(costs))
+
+
+class TestClassic:
+    def test_nothing_hidden(self):
+        """Serial chain: iteration time = sum of all phase durations."""
+        costs, result = _run("classic", iters=3)
+        for c in costs:
+            start, end = result.span_of_tag(c.k)
+            total = (c.fact + c.lbcast + c.d2h + c.h2d + c.left.gather
+                     + c.left.comm + c.left.scatter + c.left.dtrsm + c.left.dgemm)
+            assert end - start == pytest.approx(total)
+
+
+class TestLookahead:
+    def test_fact_and_lbcast_hidden_when_update_large(self):
+        """Fig. 3: with a large UPDATE, only RS extends the iteration."""
+        _, result = _run("lookahead", dgemm_big=5.0, fact=0.3)
+        for k in range(1, 5):
+            span = result.span_of_tag(k)
+            gpu_busy = result.busy_in_tag(k, "gpu")
+            exposed = (span[1] - span[0]) - gpu_busy
+            # exposed time ~ the RS communication, not fact+lbcast
+            rs_comm = 0.1 / 4 + 0.1 * 2
+            assert exposed == pytest.approx(rs_comm, abs=0.02)
+
+    def test_fact_on_critical_path_when_update_small(self):
+        """The tail regime: a small UPDATE cannot hide FACT."""
+        _, small = _run("lookahead", dgemm_big=0.05, fact=2.0)
+        _, large = _run("lookahead", dgemm_big=5.0, fact=2.0)
+        span_small = small.span_of_tag(3)
+        # iteration must take at least the FACT chain
+        assert span_small[1] - span_small[0] >= 2.0
+
+    def test_requires_preamble(self):
+        with pytest.raises(ScheduleError, match="preamble"):
+            build_run([_costs("lookahead", 0)])
+
+
+class TestSplit:
+    def test_everything_hidden_when_updates_large(self):
+        """Fig. 6: iteration time equals GPU busy time (all comm hidden)."""
+        _, result = _run("split", dgemm_big=6.0, fact=0.5)
+        for k in range(2, 6):  # steady state
+            span = result.span_of_tag(k)
+            gpu_busy = result.busy_in_tag(k, "gpu")
+            assert span[1] - span[0] == pytest.approx(gpu_busy, rel=0.02)
+
+    def test_split_beats_lookahead_with_expensive_rs(self):
+        """The split update's reason to exist: RS comm stops costing time."""
+        kw = dict(dgemm_big=4.0, comm=0.8, fact=0.2)
+        _, la = _run("lookahead", **kw)
+        _, sp = _run("split", **kw)
+        assert sp.makespan < la.makespan
+
+    def test_rs2_communicated_one_iteration_early(self):
+        costs = [_preamble()] + [_costs("split", k) for k in range(3)]
+        tasks = build_run(costs)
+        by_name = {t.name: t for t in tasks}
+        # iteration 1's right-section scatter consumes iteration 0's comm
+        assert by_name["rs2.comm.0"] in by_name["rs2.scatter.1"].deps
+
+    def test_fallback_to_lookahead_consumes_pending(self):
+        costs = [_preamble(), _costs("split", 0), _costs("split", 1),
+                 _costs("lookahead", 2), _costs("lookahead", 3)]
+        tasks = build_run(costs)
+        result = simulate(tasks)
+        names = [t.name for t in tasks]
+        # the transition iteration scatters the pending RS2, then proceeds
+        assert "rs2.scatter.2" in names
+        assert "rs.comm.3" in names  # plain look-ahead afterwards
+        assert result.makespan > 0
+
+    def test_requires_preamble(self):
+        with pytest.raises(ScheduleError, match="preamble"):
+            build_run([_costs("split", 0)])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown"):
+            build_run([IterCosts(k=0, mode="warp")])
+
+
+class TestCrossIterationChaining:
+    def test_iterations_strictly_ordered(self):
+        for mode in ("classic", "lookahead", "split"):
+            costs, result = _run(mode, iters=5)
+            ends = [result.span_of_tag(c.k)[1] for c in costs]
+            assert ends == sorted(ends)
+
+    def test_makespan_scales_with_iterations(self):
+        _, r3 = _run("split", iters=3)
+        _, r9 = _run("split", iters=9)
+        assert r9.makespan > r3.makespan * 2

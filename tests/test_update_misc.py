@@ -1,0 +1,172 @@
+"""Direct unit coverage: the update phase, request handles, payload
+helpers, and the launcher's edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import ProcessGrid
+from repro.hpl.matrix import DistMatrix
+from repro.hpl.panel import Panel
+from repro.hpl.update import solve_u, trailing_dgemm
+from repro.simmpi import run_spmd
+from repro.simmpi.fabric import copy_payload, payload_nbytes
+from repro.simmpi.request import Request, waitall
+
+from .conftest import spmd
+
+
+def _panel(rng, j0=0, jb=4, m2=8) -> Panel:
+    w = np.asfortranarray(rng.standard_normal((jb, jb)))
+    return Panel(
+        k=0, j0=j0, jb=jb, w=w,
+        ipiv=np.arange(j0, j0 + jb, dtype=np.int64),
+        l2=np.asfortranarray(rng.standard_normal((m2, jb))),
+    )
+
+
+class TestUpdatePhase:
+    def test_solve_u_uses_unit_lower_of_w(self, rng):
+        panel = _panel(rng)
+        u = np.asfortranarray(rng.standard_normal((4, 6)))
+        expected = np.linalg.solve(np.tril(panel.w, -1) + np.eye(4), u)
+        solve_u(panel, u)
+        assert np.allclose(u, expected)
+
+    def test_solve_u_shape_check(self, rng):
+        panel = _panel(rng)
+        with pytest.raises(ValueError):
+            solve_u(panel, np.zeros((3, 5)))
+
+    def test_trailing_dgemm_matches_formula(self, rng):
+        def main(comm):
+            grid = ProcessGrid(comm, 1, 1)
+            mat = DistMatrix(grid, 12, 4, seed=2)
+            panel = _panel(rng, j0=0, jb=4, m2=8)
+            u = np.asfortranarray(rng.standard_normal((4, mat.nloc_aug - 4)))
+            before = mat.a.copy()
+            trailing_dgemm(mat, panel, u, 4, mat.nloc_aug)
+            expected = before[4:, 4:] - panel.l2 @ u
+            return np.allclose(mat.a[4:, 4:], expected) and np.array_equal(
+                mat.a[:4], before[:4]
+            )
+
+        assert spmd(1, main)[0]
+
+    def test_trailing_dgemm_row_mismatch_raises(self, rng):
+        def main(comm):
+            grid = ProcessGrid(comm, 1, 1)
+            mat = DistMatrix(grid, 12, 4, seed=2)
+            panel = _panel(rng, j0=0, jb=4, m2=5)  # wrong L2 height
+            u = np.zeros((4, 3), order="F")
+            with pytest.raises(ValueError):
+                trailing_dgemm(mat, panel, u, 4, 7)
+
+        spmd(1, main)
+
+    def test_empty_column_range_noop(self, rng):
+        def main(comm):
+            grid = ProcessGrid(comm, 1, 1)
+            mat = DistMatrix(grid, 12, 4, seed=2)
+            panel = _panel(rng, m2=8)
+            before = mat.a.copy()
+            trailing_dgemm(mat, panel, np.zeros((4, 0)), 5, 5)
+            return np.array_equal(mat.a, before)
+
+        assert spmd(1, main)[0]
+
+
+class TestRequests:
+    def test_completed_request(self):
+        req = Request.completed("value")
+        assert req.complete
+        assert req.wait() == "value"
+        assert req.test() == (True, "value")
+
+    def test_waitall_preserves_order(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i * 10, 1, tag=i)
+            else:
+                reqs = [comm.irecv(0, tag=i) for i in range(5)]
+                return waitall(reqs)
+
+        assert spmd(2, main)[1] == [0, 10, 20, 30, 40]
+
+    def test_test_then_wait(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.send("late", 1)
+            else:
+                req = comm.irecv(0)
+                done, _ = req.test()
+                assert not done  # nothing sent yet
+                comm.barrier()
+                return req.wait()
+
+        assert spmd(2, main)[1] == "late"
+
+
+class TestPayloadHelpers:
+    def test_nbytes_ndarray(self):
+        assert payload_nbytes(np.zeros((3, 4))) == 96
+
+    def test_nbytes_scalars_and_containers(self):
+        assert payload_nbytes(1) == 8
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes((1, 2.0, np.zeros(2))) == 8 + 8 + 16
+
+    def test_nbytes_generic_object(self):
+        assert payload_nbytes({"a": 1}) > 0
+
+    def test_copy_payload_deep_for_arrays(self):
+        x = np.ones(3)
+        y = copy_payload(x)
+        y[0] = 9
+        assert x[0] == 1.0
+
+    def test_copy_payload_nested(self):
+        src = {"arr": np.ones(2), "list": [np.zeros(1)], "t": (1, "s")}
+        out = copy_payload(src)
+        out["arr"][0] = 5
+        out["list"][0][0] = 5
+        assert src["arr"][0] == 1.0 and src["list"][0][0] == 0.0
+        assert out["t"] == (1, "s")
+
+    def test_copy_payload_custom_object(self):
+        class Box:
+            def __init__(self):
+                self.data = [1, 2]
+
+        box = Box()
+        out = copy_payload(box)
+        out.data.append(3)
+        assert box.data == [1, 2]
+
+
+class TestLauncher:
+    def test_zero_and_one_rank(self):
+        assert run_spmd(1, lambda c: c.size) == [1]
+
+    def test_kwargs_forwarded(self):
+        def main(comm, a, b=0):
+            return a + b
+
+        assert run_spmd(2, main, 5, b=7) == [12, 12]
+
+    def test_keyboard_interrupt_style_base_exception_collected(self):
+        class Boom(BaseException):
+            pass
+
+        def main(comm):
+            if comm.rank == 1:
+                raise Boom()
+            comm.recv(0)
+
+        from repro.errors import SpmdError
+
+        with pytest.raises(SpmdError):
+            spmd(2, main)
