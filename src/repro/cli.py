@@ -9,6 +9,14 @@ Commands:
 * ``scale``    -- the Fig. 8 weak-scaling sweep.
 * ``fact``     -- the Fig. 5 FACT multi-threading sweep.
 * ``bindings`` -- print the Section III.B core time-sharing map.
+
+Batch service commands (see ``docs/service.md``):
+
+* ``submit``   -- queue one run or a ``--sweep`` parameter grid.
+* ``workers``  -- drain the queue with a multiprocess worker pool.
+* ``status``   -- job counts and per-job states.
+* ``results``  -- print results of completed jobs.
+* ``cancel``   -- cancel pending jobs.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ import argparse
 import sys
 
 from .config import BcastVariant, HPLConfig, PFactVariant, Schedule
+from .errors import ConfigError, ReproError
 
 
 def _add_grid_args(p: argparse.ArgumentParser) -> None:
@@ -180,6 +189,189 @@ def _cmd_bindings(args: argparse.Namespace) -> int:
     return 0
 
 
+def _values(text: str, cast) -> list:
+    """Parse a comma-separated CLI value list (``"64,128"`` -> [64, 128])."""
+    try:
+        return [cast(part) for part in str(text).split(",") if part != ""]
+    except ValueError as exc:
+        raise ConfigError(f"bad value list {text!r}: {exc}") from None
+
+
+def _axis(args_value, cast, sweep: bool, name: str):
+    """One sweep axis: a scalar normally, a list under ``--sweep``."""
+    values = _values(args_value, cast)
+    if not values:
+        raise ConfigError(f"no value given for {name}")
+    if len(values) > 1 and not sweep:
+        raise ConfigError(
+            f"{name} lists multiple values ({args_value});"
+            " pass --sweep to expand a parameter grid"
+        )
+    return values if sweep else values[0]
+
+
+def _submit_sweep(args: argparse.Namespace):
+    """Build the :class:`~repro.service.Sweep` a ``submit`` call describes."""
+    from .service import Sweep
+
+    sweep = args.sweep
+    if args.kind == "run":
+        axes = {
+            "n": _axis(args.N, int, sweep, "-N"),
+            "nb": _axis(args.NB, int, sweep, "-NB"),
+            "p": _axis(args.P, int, sweep, "-P"),
+            "q": _axis(args.Q, int, sweep, "-Q"),
+            "schedule": _axis(args.schedule, str, sweep, "--schedule"),
+            "pfact": _axis(args.pfact, str, sweep, "--pfact"),
+            "bcast": _axis(args.bcast, str, sweep, "--bcast"),
+            "split_fraction": _axis(args.frac, float, sweep, "--frac"),
+            "fact_threads": _axis(args.threads, int, sweep, "--threads"),
+        }
+        # Validate every grid point eagerly so a bad corner fails at
+        # submit time (exit 2), not inside a worker.
+        for payload in Sweep(kind="run", axes=axes).expand():
+            depth0 = {"depth": 0} if payload["schedule"] == "classic" else {}
+            HPLConfig.from_dict({**payload, **depth0})
+        if not sweep:
+            if axes["schedule"] == "classic":
+                axes = {**axes, "depth": 0}
+        else:
+            classic_only = axes["schedule"] == ["classic"]
+            if classic_only:
+                axes = {**axes, "depth": 0}
+            elif "classic" in axes["schedule"]:
+                raise ConfigError(
+                    "--sweep cannot mix 'classic' with look-ahead schedules"
+                    " (depth differs); submit them as two sweeps"
+                )
+        return Sweep(kind="run", axes=axes)
+    if args.kind == "sim":
+        return Sweep(
+            kind="sim",
+            axes={
+                "n": _axis(args.N, int, sweep, "-N"),
+                "nb": _axis(args.NB, int, sweep, "-NB"),
+                "p": _axis(args.P, int, sweep, "-P"),
+                "q": _axis(args.Q, int, sweep, "-Q"),
+                "pl": _axis(args.pl, int, sweep, "--pl"),
+                "ql": _axis(args.ql, int, sweep, "--ql"),
+                "schedule": _axis(args.schedule, str, sweep, "--schedule"),
+                "split_fraction": _axis(args.frac, float, sweep, "--frac"),
+            },
+        )
+    if args.kind == "scale":
+        return Sweep(
+            kind="scale",
+            axes={"nnodes": _axis(args.nodes, int, sweep, "--nodes")},
+            base={"n_single": int(args.N), "nb": int(args.NB),
+                  "schedule": args.schedule},
+        )
+    if args.kind == "fact":
+        return Sweep(kind="fact", axes={"nb": _axis(args.NB, int, sweep, "-NB")})
+    raise ConfigError(f"unknown job kind {args.kind!r}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import Service
+
+    service = Service(args.workdir)
+    receipt = service.submit_sweep(
+        _submit_sweep(args), timeout=args.timeout, max_retries=args.retries
+    )
+    print(f"submitted {len(receipt.new)} new job(s), "
+          f"{len(receipt.cached)} served from cache, "
+          f"{len(receipt.deduped)} deduplicated against the queue")
+    for jid in receipt.new:
+        print(f"  queued  {jid}")
+    for jid in receipt.cached:
+        print(f"  cached  {jid}")
+    for jid in receipt.deduped:
+        print(f"  dup-of  {jid}")
+    return 0
+
+
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from .service import Service
+
+    service = Service(args.workdir, backoff_base=args.backoff)
+    summary = service.run_workers(
+        n=args.n, drain=not args.no_drain, max_seconds=args.max_seconds
+    )
+    c = summary.counts
+    print(f"pool finished: {summary.completed} completed, "
+          f"{summary.failed} failed, {summary.retried} retried")
+    print(f"queue: {c['PENDING']} pending, {c['RUNNING']} running, "
+          f"{c['DONE']} done, {c['FAILED']} failed, "
+          f"{c['CANCELLED']} cancelled")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import Service
+
+    status = Service(args.workdir).status()
+    c = status["counts"]
+    print(f"workdir {status['workdir']}: "
+          + ", ".join(f"{c[s]} {s.lower()}" for s in
+                      ("PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED")))
+    if status["jobs"]:
+        print(f"{'id':<14}{'kind':<8}{'state':<11}{'tries':<7}note")
+        for j in status["jobs"]:
+            note = "cached" if j["cached"] else j["error"][:60]
+            print(f"{j['id']:<14}{j['kind']:<8}{j['state']:<11}"
+                  f"{j['attempts']:<7}{note}")
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import JobState, Service
+
+    service = Service(args.workdir)
+    ids = args.ids or [j.id for j in service.store.list(JobState.DONE)]
+    results = service.results(ids)
+    if args.json:
+        print(_json.dumps(results, indent=2, sort_keys=True))
+        return 0
+    missing = 0
+    for jid in ids:
+        result = results[jid]
+        if result is None:
+            missing += 1
+            print(f"{jid}: (no result yet)")
+            continue
+        line = ", ".join(
+            f"{k}={result[k]:.4g}" if isinstance(result[k], float)
+            else f"{k}={result[k]}"
+            for k in sorted(result) if not isinstance(result[k], (list, dict))
+        )
+        print(f"{jid}: {line}")
+    return 0 if missing == 0 else 1
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from .service import JobState, Service
+
+    service = Service(args.workdir)
+    ids = args.ids
+    if args.all:
+        ids = [j.id for j in service.store.list(JobState.PENDING)]
+    if not ids:
+        print("nothing to cancel")
+        return 0
+    cancelled = service.cancel(ids)
+    print(f"cancelled {len(cancelled)} of {len(ids)} job(s)")
+    for jid in cancelled:
+        print(f"  cancelled {jid}")
+    return 0 if len(cancelled) == len(ids) else 1
+
+
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workdir", default=".repro-service",
+                   help="service state directory (queue + cache)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="pyroHPL: rocHPL reproduction toolkit"
@@ -245,6 +437,71 @@ def build_parser() -> argparse.ArgumentParser:
     p_bind.add_argument("--pl", type=int, default=4)
     p_bind.add_argument("--ql", type=int, default=2)
     p_bind.set_defaults(fn=_cmd_bindings)
+
+    p_sub = sub.add_parser(
+        "submit", help="queue a benchmark run (or --sweep grid) in the service"
+    )
+    _add_service_args(p_sub)
+    p_sub.add_argument("--kind", choices=["run", "sim", "scale", "fact"],
+                       default="sim", help="what each job executes")
+    p_sub.add_argument("--sweep", action="store_true",
+                       help="expand comma-separated values into a grid")
+    p_sub.add_argument("-N", default="4096", help="problem size(s); for "
+                       "--kind scale this is the single-node N")
+    p_sub.add_argument("-NB", default="256", help="blocking factor(s)")
+    p_sub.add_argument("-P", default="2", help="grid rows (list ok)")
+    p_sub.add_argument("-Q", default="2", help="grid columns (list ok)")
+    p_sub.add_argument("--pl", default="0", help="node-local grid rows "
+                       "(sim; 0 = whole grid)")
+    p_sub.add_argument("--ql", default="0", help="node-local grid cols")
+    p_sub.add_argument("--schedule", default="split",
+                       help="iteration schedule(s)")
+    p_sub.add_argument("--pfact", default="right",
+                       help="panel factorization variant(s) (run)")
+    p_sub.add_argument("--bcast", default="1ringM",
+                       help="broadcast variant(s) (run)")
+    p_sub.add_argument("--frac", default="0.5",
+                       help="split-update fraction(s)")
+    p_sub.add_argument("--threads", default="1",
+                       help="FACT threads per rank (run)")
+    p_sub.add_argument("--nodes", default="1,2,4,8",
+                       help="node counts (scale)")
+    p_sub.add_argument("--timeout", type=float, default=0.0,
+                       help="per-attempt wall-clock limit in seconds")
+    p_sub.add_argument("--retries", type=int, default=2,
+                       help="extra attempts after a failure")
+    p_sub.set_defaults(fn=_cmd_submit)
+
+    p_work = sub.add_parser(
+        "workers", help="drain queued jobs with a multiprocess worker pool"
+    )
+    _add_service_args(p_work)
+    p_work.add_argument("-n", type=int, default=2, help="worker slots")
+    p_work.add_argument("--max-seconds", type=float, default=None,
+                        help="stop after this many seconds even if not drained")
+    p_work.add_argument("--backoff", type=float, default=0.5,
+                        help="retry backoff base (seconds)")
+    p_work.add_argument("--no-drain", action="store_true",
+                        help="keep serving instead of exiting when drained")
+    p_work.set_defaults(fn=_cmd_workers)
+
+    p_stat = sub.add_parser("status", help="job counts and per-job states")
+    _add_service_args(p_stat)
+    p_stat.set_defaults(fn=_cmd_status)
+
+    p_res = sub.add_parser("results", help="print results of completed jobs")
+    _add_service_args(p_res)
+    p_res.add_argument("ids", nargs="*", help="job ids (default: all DONE)")
+    p_res.add_argument("--json", action="store_true",
+                       help="dump results as JSON")
+    p_res.set_defaults(fn=_cmd_results)
+
+    p_can = sub.add_parser("cancel", help="cancel pending jobs")
+    _add_service_args(p_can)
+    p_can.add_argument("ids", nargs="*", help="job ids to cancel")
+    p_can.add_argument("--all", action="store_true",
+                       help="cancel every pending job")
+    p_can.set_defaults(fn=_cmd_cancel)
     return parser
 
 
@@ -255,6 +512,15 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # stdout consumer (e.g. `head`) went away; not an error.
         return 0
+    except ConfigError as exc:
+        # Invalid configuration: one clean line, exit 2, so scripts and
+        # service workers can tell bad input from a crash (which still
+        # tracebacks).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -12,9 +12,35 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 import math
 
 from .errors import ConfigError
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace).
+
+    Enums are encoded by value so the encoding is stable across enum
+    renames and python versions.  Used by :func:`config_key` and the
+    service result cache, which require byte-identical encodings for
+    semantically identical inputs.
+    """
+
+    def _default(o):
+        if isinstance(o, enum.Enum):
+            return o.value
+        raise TypeError(f"{type(o).__name__} is not JSON-serializable")
+
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_default
+    )
+
+
+def config_key(mapping) -> str:
+    """Stable content hash of a parameter mapping (sha256 hex digest)."""
+    return hashlib.sha256(canonical_json(mapping).encode()).hexdigest()
 
 
 class PFactVariant(enum.Enum):
@@ -167,3 +193,49 @@ class HPLConfig:
     def replace(self, **kwargs) -> "HPLConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dict of every field (enums by value)."""
+        out = {}
+        for f in dataclasses.fields(self):
+            v = getattr(self, f.name)
+            out[f.name] = v.value if isinstance(v, enum.Enum) else v
+        return out
+
+    @classmethod
+    def from_dict(cls, data) -> "HPLConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Enum fields accept either the enum member or its value; unknown
+        keys raise :class:`~repro.errors.ConfigError` rather than being
+        silently dropped, so stale payloads fail loudly.
+        """
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = set(data) - set(fields)
+        if unknown:
+            raise ConfigError(
+                f"unknown HPLConfig field(s): {', '.join(sorted(unknown))}"
+            )
+        enum_types = {
+            "pfact": PFactVariant,
+            "rfact": PFactVariant,
+            "bcast": BcastVariant,
+            "swap": SwapVariant,
+            "schedule": Schedule,
+        }
+        kwargs = {}
+        for name, value in data.items():
+            etype = enum_types.get(name)
+            if etype is not None and not isinstance(value, etype):
+                try:
+                    value = etype(value)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"invalid {name} value {value!r}"
+                    ) from exc
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def config_key(self) -> str:
+        """Stable content hash of this configuration (sha256 hex)."""
+        return config_key(self.to_dict())

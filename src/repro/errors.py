@@ -63,3 +63,15 @@ class SingularMatrixError(ReproError):
 
 class ScheduleError(ReproError):
     """The discrete-event timeline simulator was given an invalid DAG."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the batch job service."""
+
+
+class UnknownJobError(ServiceError):
+    """A job id was not found in the service's store."""
+
+
+class UnknownJobKindError(ServiceError):
+    """A job names a kind with no registered runner."""

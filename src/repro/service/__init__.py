@@ -1,0 +1,38 @@
+"""Batch job-orchestration service for pyroHPL.
+
+One level above the in-run task DAG (:mod:`repro.sched`), the service
+treats *whole benchmark runs* as schedulable jobs: a persistent queue
+(:mod:`.store`), a content-addressed result cache (:mod:`.cache`), a
+multiprocess worker pool with timeouts and bounded retry
+(:mod:`.workers`), and a sweep expander (:mod:`.sweep`), all fronted by
+the :class:`~repro.service.api.Service` facade and the ``repro submit``
+/ ``workers`` / ``status`` / ``results`` / ``cancel`` CLI commands.
+
+The design follows HPC job-service practice (Balsam's job store +
+launcher + worker states): jobs carry lifecycle states
+``PENDING -> RUNNING -> DONE/FAILED/CANCELLED``, survive restarts on
+disk, and identical submissions are deduplicated or served from cache.
+"""
+
+from __future__ import annotations
+
+from .api import Service, SubmitReceipt
+from .cache import ResultCache, payload_key
+from .jobs import Job, JobState
+from .store import JobStore
+from .sweep import Sweep, expand_grid
+from .workers import WorkerPool, register_runner
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobStore",
+    "ResultCache",
+    "Service",
+    "SubmitReceipt",
+    "Sweep",
+    "WorkerPool",
+    "expand_grid",
+    "payload_key",
+    "register_runner",
+]

@@ -1,0 +1,156 @@
+"""The service facade: submit / status / results / cancel / run_workers.
+
+:class:`Service` ties the store, cache, sweep expander, and worker pool
+together behind the surface the CLI (and future HTTP front-ends) use.
+Submission is where result reuse happens:
+
+* a payload whose content key already has a cached result is recorded as
+  a DONE job immediately (``cached=True``) and never enters the queue;
+* a payload whose key matches a PENDING/RUNNING job is *deduplicated* --
+  the existing job's id is returned instead of queueing a twin;
+* everything else becomes a PENDING job for the workers.
+
+``probe`` jobs bypass both paths (see
+:data:`repro.service.jobs.UNCACHED_KINDS`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+from .cache import ResultCache, payload_key
+from .jobs import UNCACHED_KINDS, Job, JobState, new_job_id
+from .store import JobStore
+from .sweep import Sweep
+from .workers import RUNNERS, PoolSummary, WorkerPool
+
+DEFAULT_WORKDIR = ".repro-service"
+
+
+@dataclass
+class SubmitReceipt:
+    """What one submission call did, job ids grouped by disposition."""
+
+    new: list[str] = field(default_factory=list)
+    cached: list[str] = field(default_factory=list)
+    deduped: list[str] = field(default_factory=list)
+
+    @property
+    def job_ids(self) -> list[str]:
+        return self.new + self.cached + self.deduped
+
+    def merge(self, other: "SubmitReceipt") -> None:
+        self.new += other.new
+        self.cached += other.cached
+        self.deduped += other.deduped
+
+
+class Service:
+    """One service instance rooted at a workdir (queue + cache on disk)."""
+
+    def __init__(self, workdir=DEFAULT_WORKDIR,
+                 backoff_base: float = 0.5) -> None:
+        self.workdir = os.fspath(workdir)
+        self.store = JobStore(self.workdir)
+        self.cache = ResultCache(os.path.join(self.workdir, "cache"))
+        self.backoff_base = backoff_base
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, kind: str, payload: dict, timeout: float = 0.0,
+               max_retries: int = 2) -> SubmitReceipt:
+        """Submit one job; serve from cache / dedupe when possible."""
+        if kind not in RUNNERS:
+            raise ServiceError(
+                f"unknown job kind {kind!r}"
+                f" (known: {', '.join(sorted(RUNNERS))})"
+            )
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        key = payload_key(kind, payload)
+        receipt = SubmitReceipt()
+        if kind not in UNCACHED_KINDS:
+            if key in self.cache:
+                job = Job(
+                    id=new_job_id(), kind=kind, payload=payload, key=key,
+                    state=JobState.DONE, result_key=key, cached=True,
+                    timeout=timeout, max_retries=max_retries,
+                )
+                self.store.add(job)
+                receipt.cached.append(job.id)
+                return receipt
+            active = self.store.active_by_key(key)
+            if active is not None:
+                receipt.deduped.append(active.id)
+                return receipt
+        job = Job(
+            id=new_job_id(), kind=kind, payload=payload, key=key,
+            timeout=timeout, max_retries=max_retries,
+        )
+        self.store.add(job)
+        receipt.new.append(job.id)
+        return receipt
+
+    def submit_sweep(self, sweep: Sweep, timeout: float = 0.0,
+                     max_retries: int = 2) -> SubmitReceipt:
+        """Expand a sweep and submit every unique point."""
+        receipt = SubmitReceipt()
+        for payload in sweep.expand():
+            receipt.merge(
+                self.submit(sweep.kind, payload, timeout=timeout,
+                            max_retries=max_retries)
+            )
+        return receipt
+
+    # -- queries ---------------------------------------------------------
+
+    def status(self) -> dict:
+        """Counts per state plus a per-job summary list."""
+        jobs = self.store.list()
+        return {
+            "workdir": self.workdir,
+            "counts": self.store.counts(),
+            "jobs": [
+                {
+                    "id": j.id, "kind": j.kind, "state": j.state.value,
+                    "attempts": j.attempts, "cached": j.cached,
+                    "error": j.error.splitlines()[-1] if j.error else "",
+                }
+                for j in jobs
+            ],
+        }
+
+    def job(self, job_id: str) -> Job:
+        return self.store.get(job_id)
+
+    def result(self, job_id: str) -> dict | None:
+        """The result dict of a DONE job (None while not DONE)."""
+        job = self.store.get(job_id)
+        if job.state is not JobState.DONE:
+            return None
+        record = self.cache.get(job.result_key)
+        return record["result"] if record else None
+
+    def results(self, job_ids=None) -> dict[str, dict | None]:
+        """Map of job id -> result (None for jobs without one yet)."""
+        if job_ids is None:
+            job_ids = [j.id for j in self.store.list()]
+        return {jid: self.result(jid) for jid in job_ids}
+
+    # -- control ---------------------------------------------------------
+
+    def cancel(self, job_ids) -> list[str]:
+        """Cancel the given PENDING jobs; returns the ids cancelled."""
+        return [jid for jid in job_ids if self.store.cancel(jid)]
+
+    def run_workers(self, n: int = 2, drain: bool = True,
+                    max_seconds: float | None = None,
+                    poll_interval: float = 0.02) -> PoolSummary:
+        """Drain the queue with an ``n``-slot worker pool (blocking)."""
+        pool = WorkerPool(
+            self.workdir, nworkers=n, poll_interval=poll_interval,
+            backoff_base=self.backoff_base,
+        )
+        return pool.run(drain=drain, max_seconds=max_seconds)

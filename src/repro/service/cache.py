@@ -1,0 +1,69 @@
+"""Content-addressed result cache.
+
+Results are keyed by a sha256 hash of the canonical JSON encoding of
+``(kind, payload)`` -- see :func:`payload_key`, built on the same
+:func:`repro.config.canonical_json` that :meth:`HPLConfig.config_key`
+uses -- so two submissions describing the same benchmark point share a
+key no matter how the payload dict was ordered.  Records are one JSON
+file per key, sharded by the first two hex digits, written atomically
+(temp file + ``os.replace``) so a crashed writer can never leave a
+half-written record that a reader would parse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..config import canonical_json, config_key
+
+
+def payload_key(kind: str, payload: dict) -> str:
+    """Stable content hash identifying one job's work."""
+    return config_key({"kind": kind, "payload": payload})
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` result records under a workdir."""
+
+    def __init__(self, root) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None on a miss."""
+        try:
+            with open(self._path(key)) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def put(self, key: str, kind: str, payload: dict, result: dict) -> dict:
+        """Store ``result`` under ``key``; returns the full record."""
+        record = {
+            "key": key,
+            "kind": kind,
+            "payload": payload,
+            "result": result,
+            "stored_at": time.time(),
+        }
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "w") as fh:
+            fh.write(canonical_json(record))
+        os.replace(tmp, path)
+        return record
+
+    def __len__(self) -> int:
+        total = 0
+        for _, _, files in os.walk(self.root):
+            total += sum(1 for f in files if f.endswith(".json"))
+        return total

@@ -1,0 +1,256 @@
+"""Persistent job store: an SQLite queue plus a JSONL event log.
+
+The store is the service's single source of truth.  SQLite gives the
+multiprocess worker pool atomic job claims (``BEGIN IMMEDIATE`` write
+transactions serialize claimers across processes), and the sidecar
+``events.jsonl`` append-only log records every transition so tests and
+operators can audit exactly what ran -- e.g. "how many jobs entered
+RUNNING during this resubmission?" is a one-line scan.
+
+Connections are opened lazily *per process*: a :class:`JobStore` handle
+may be created in a supervisor and used after ``fork`` in a worker
+child; each process gets its own connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+
+from ..errors import UnknownJobError
+from .jobs import COLUMNS, Job, JobState
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    key TEXT NOT NULL,
+    state TEXT NOT NULL,
+    attempts INTEGER NOT NULL,
+    max_retries INTEGER NOT NULL,
+    timeout REAL NOT NULL,
+    not_before REAL NOT NULL,
+    error TEXT NOT NULL,
+    result_key TEXT NOT NULL,
+    cached INTEGER NOT NULL,
+    worker TEXT NOT NULL,
+    created REAL NOT NULL,
+    updated REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, not_before, created);
+CREATE INDEX IF NOT EXISTS jobs_key ON jobs (key);
+"""
+
+_COLS = ", ".join(COLUMNS)
+_PLACEHOLDERS = ", ".join("?" for _ in COLUMNS)
+
+
+class JobStore:
+    """Queue of :class:`~repro.service.jobs.Job` rows under a workdir."""
+
+    def __init__(self, workdir) -> None:
+        self.workdir = os.fspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.db_path = os.path.join(self.workdir, "jobs.sqlite")
+        self.events_path = os.path.join(self.workdir, "events.jsonl")
+        self._conn: sqlite3.Connection | None = None
+        self._pid = -1
+        self._connection()  # create the schema eagerly
+
+    # -- connection management -------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            # A connection inherited across fork must not be reused (the
+            # child would share the parent's file locks); open fresh.
+            conn = sqlite3.connect(self.db_path, timeout=30.0)
+            conn.isolation_level = None  # explicit transactions only
+            conn.execute("PRAGMA busy_timeout = 30000")
+            conn.executescript(_SCHEMA)
+            self._conn = conn
+            self._pid = pid
+        return self._conn
+
+    def _event(self, job_id: str, event: str, **extra) -> None:
+        record = {"t": time.time(), "pid": os.getpid(), "job": job_id,
+                  "event": event, **extra}
+        with open(self.events_path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def events(self) -> list[dict]:
+        """All logged events, oldest first (empty if none yet)."""
+        if not os.path.exists(self.events_path):
+            return []
+        with open(self.events_path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    # -- writes ----------------------------------------------------------
+
+    def add(self, job: Job) -> Job:
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                f"INSERT INTO jobs ({_COLS}) VALUES ({_PLACEHOLDERS})",
+                job.to_row(),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        self._event(job.id, "submitted", kind=job.kind, key=job.key,
+                    state=job.state.value, cached=job.cached)
+        return job
+
+    def claim(self, worker: str, now: float | None = None) -> Job | None:
+        """Atomically move the oldest ready PENDING job to RUNNING.
+
+        Ready means ``not_before <= now`` (jobs in retry backoff are
+        skipped until their backoff expires).  Returns ``None`` when no
+        job is ready.  Safe to call concurrently from many processes.
+        """
+        now = time.time() if now is None else now
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE state = ? AND not_before <= ?"
+                " ORDER BY created, id LIMIT 1",
+                (JobState.PENDING.value, now),
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            job = Job.from_row(row)
+            job.state = JobState.RUNNING
+            job.attempts += 1
+            job.worker = worker
+            job.updated = now
+            conn.execute(
+                "UPDATE jobs SET state = ?, attempts = ?, worker = ?,"
+                " updated = ? WHERE id = ?",
+                (job.state.value, job.attempts, worker, now, job.id),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        self._event(job.id, "claimed", worker=worker, attempt=job.attempts)
+        return job
+
+    def _set(self, job_id: str, event: str, **fields) -> Job:
+        conn = self._connection()
+        fields["updated"] = time.time()
+        assignments = ", ".join(f"{k} = ?" for k in fields)
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cur = conn.execute(
+                f"UPDATE jobs SET {assignments} WHERE id = ?",
+                (*fields.values(), job_id),
+            )
+            if cur.rowcount == 0:
+                raise UnknownJobError(f"no such job: {job_id}")
+            conn.execute("COMMIT")
+        except BaseException:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.OperationalError:
+                pass
+            raise
+        loggable = {k: v for k, v in fields.items()
+                    if k in ("state", "error", "not_before", "worker")}
+        if "error" in loggable:
+            loggable["error"] = loggable["error"].splitlines()[-1][:200] \
+                if loggable["error"] else ""
+        self._event(job_id, event, **loggable)
+        return self.get(job_id)
+
+    def mark_done(self, job_id: str, result_key: str) -> Job:
+        return self._set(job_id, "done", state=JobState.DONE.value,
+                         result_key=result_key, error="")
+
+    def mark_failed(self, job_id: str, error: str) -> Job:
+        return self._set(job_id, "failed", state=JobState.FAILED.value,
+                         error=error)
+
+    def requeue(self, job_id: str, error: str, not_before: float) -> Job:
+        """Put a failed attempt back in the queue with a backoff."""
+        return self._set(job_id, "requeued", state=JobState.PENDING.value,
+                         error=error, not_before=not_before)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a PENDING job; returns False if it already left PENDING."""
+        conn = self._connection()
+        now = time.time()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, updated = ? WHERE id = ?"
+                " AND state = ?",
+                (JobState.CANCELLED.value, now, job_id,
+                 JobState.PENDING.value),
+            )
+            hit = cur.rowcount > 0
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if hit:
+            self._event(job_id, "cancelled")
+        return hit
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        row = self._connection().execute(
+            f"SELECT {_COLS} FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownJobError(f"no such job: {job_id}")
+        return Job.from_row(row)
+
+    def list(self, state: JobState | None = None) -> list[Job]:
+        conn = self._connection()
+        if state is None:
+            rows = conn.execute(
+                f"SELECT {_COLS} FROM jobs ORDER BY created, id"
+            ).fetchall()
+        else:
+            rows = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE state = ?"
+                " ORDER BY created, id",
+                (state.value,),
+            ).fetchall()
+        return [Job.from_row(r) for r in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Job count per state (every state present, zero included)."""
+        out = {s.value: 0 for s in JobState}
+        for state, n in self._connection().execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        ):
+            out[state] = n
+        return out
+
+    def active_by_key(self, key: str) -> Job | None:
+        """The PENDING/RUNNING job with this content key, if any (dedup)."""
+        row = self._connection().execute(
+            f"SELECT {_COLS} FROM jobs WHERE key = ? AND state IN (?, ?)"
+            " ORDER BY created LIMIT 1",
+            (key, JobState.PENDING.value, JobState.RUNNING.value),
+        ).fetchone()
+        return Job.from_row(row) if row else None
+
+    def outstanding(self) -> int:
+        """Number of non-terminal jobs (PENDING in backoff included)."""
+        c = self.counts()
+        return c[JobState.PENDING.value] + c[JobState.RUNNING.value]
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None

@@ -1,0 +1,87 @@
+"""Parameter-grid expansion for batch submission.
+
+A :class:`Sweep` is a job kind plus axes: every parameter maps to one
+value or a list of values, and :meth:`Sweep.expand` takes the cartesian
+product in deterministic order.  ``dedupe`` collapses payloads with the
+same content key -- grid corners that describe the same benchmark point
+(and points another sweep already queued) are submitted once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+from .cache import payload_key
+
+
+def expand_grid(axes: dict) -> list[dict]:
+    """Cartesian product of the axes, scalars treated as length-1 lists.
+
+    The output order is deterministic: axes vary slowest-first in the
+    dict's insertion order, so ``{"n": [1, 2], "nb": [8, 16]}`` yields
+    ``n=1,nb=8``, ``n=1,nb=16``, ``n=2,nb=8``, ``n=2,nb=16``.
+    """
+    names = list(axes)
+    value_lists = []
+    for name in names:
+        v = axes[name]
+        if isinstance(v, (list, tuple)):
+            if not v:
+                raise ServiceError(f"sweep axis {name!r} is empty")
+            value_lists.append(list(v))
+        else:
+            value_lists.append([v])
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*value_lists)
+    ]
+
+
+def dedupe(kind: str, payloads: list[dict]) -> tuple[list[dict], int]:
+    """Drop payloads whose content key repeats; keep first occurrences.
+
+    Returns ``(unique_payloads, dropped_count)``.
+    """
+    seen: set[str] = set()
+    unique: list[dict] = []
+    for payload in payloads:
+        key = payload_key(kind, payload)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(payload)
+    return unique, len(payloads) - len(unique)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One batch of jobs over a parameter grid.
+
+    Attributes:
+        kind: Job kind every expanded payload is submitted as.
+        axes: Parameter name -> value or list of values to sweep.
+        base: Fixed parameters merged into every payload (an axis with
+            the same name overrides the base value).
+    """
+
+    kind: str
+    axes: dict = field(default_factory=dict)
+    base: dict = field(default_factory=dict)
+
+    def expand(self) -> list[dict]:
+        """Deduplicated payload dicts for the full grid."""
+        payloads = [
+            {**self.base, **point} for point in expand_grid(self.axes)
+        ]
+        unique, _ = dedupe(self.kind, payloads)
+        return unique
+
+    @property
+    def npoints(self) -> int:
+        """Grid size before deduplication."""
+        total = 1
+        for v in self.axes.values():
+            total *= len(v) if isinstance(v, (list, tuple)) else 1
+        return total

@@ -1,0 +1,385 @@
+"""Multiprocess worker pool: drains the queue with crash isolation.
+
+The pool is a supervisor loop that claims ready jobs from the
+:class:`~repro.service.store.JobStore` and executes each one in a
+*fresh child process*.  That buys three properties the service needs:
+
+* **per-job timeout** -- the supervisor terminates a child that outlives
+  ``job.timeout`` and the attempt counts as a failure;
+* **crash isolation** -- a child that dies (unhandled exception, or even
+  a hard crash) marks only its job FAILED; the supervisor and the other
+  workers keep draining;
+* **bounded retry with exponential backoff** -- a failed attempt within
+  ``job.max_retries`` goes back to PENDING with
+  ``not_before = now + backoff_base * 2**(attempts-1)``.
+
+Runners -- the functions that turn a payload dict into a result dict --
+are looked up by job kind in :data:`RUNNERS`.  The built-in kinds map
+onto the existing entry points (``run`` -> :func:`repro.hpl.api.run_hpl`,
+``sim`` -> :func:`repro.perf.hplsim.simulate_run`, ``scale`` ->
+:func:`repro.perf.scaling.weak_scaling`, ``fact`` ->
+:func:`repro.perf.factsim.fact_sweep`); ``probe`` jobs exercise the pool
+itself (ok / sleep / crash / flaky behaviours) and are used by the test
+suite and as operational smoke tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ServiceError, UnknownJobKindError
+from .cache import ResultCache, payload_key
+from .jobs import Job, JobState
+from .store import JobStore
+
+Runner = Callable[[dict, Job], dict]
+
+RUNNERS: dict[str, Runner] = {}
+
+
+def register_runner(kind: str, fn: Runner) -> None:
+    """Register (or replace) the runner for a job kind."""
+    RUNNERS[kind] = fn
+
+
+def runner_for(kind: str) -> Runner:
+    try:
+        return RUNNERS[kind]
+    except KeyError:
+        raise UnknownJobKindError(
+            f"no runner registered for job kind {kind!r}"
+            f" (known: {', '.join(sorted(RUNNERS))})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in runners
+# ---------------------------------------------------------------------------
+
+
+def _run_runner(payload: dict, job: Job) -> dict:
+    """Numeric HPL run on the simulated-MPI runtime."""
+    from ..config import HPLConfig
+    from ..hpl.api import run_hpl
+
+    cfg = HPLConfig.from_dict(payload)
+    result = run_hpl(cfg)
+    return {
+        "n": cfg.n, "nb": cfg.nb, "p": cfg.p, "q": cfg.q,
+        "resid": result.resid,
+        "passed": result.passed,
+        "wall_seconds": result.wall_seconds,
+        "tflops": cfg.total_flops / result.wall_seconds / 1e12,
+    }
+
+
+def _sim_runner(payload: dict, job: Job) -> dict:
+    """Performance simulation of one full-size run (Fig. 7 machinery)."""
+    from ..config import BcastVariant, Schedule, SwapVariant
+    from ..machine.frontier import crusher_cluster
+    from ..perf.hplsim import simulate_run
+    from ..perf.ledger import PerfConfig
+
+    params = dict(payload)
+    cfg = PerfConfig(
+        n=params["n"], nb=params["nb"], p=params["p"], q=params["q"],
+        pl=params.get("pl") or params["p"],
+        ql=params.get("ql") or params["q"],
+        schedule=Schedule(params.get("schedule", "split")),
+        split_fraction=params.get("split_fraction", 0.5),
+        bcast=BcastVariant(params.get("bcast", "1ringM")),
+        swap=SwapVariant(params.get("swap", "long")),
+        swap_threshold=params.get("swap_threshold", 64),
+        fact_threads=params.get("fact_threads", 0),
+    )
+    nodes = (cfg.p // cfg.pl) * (cfg.q // cfg.ql)
+    report = simulate_run(cfg, crusher_cluster(nodes))
+    return {
+        "n": cfg.n, "nb": cfg.nb, "p": cfg.p, "q": cfg.q, "nodes": nodes,
+        "score_tflops": report.score_tflops,
+        "makespan": report.makespan,
+        "hidden_time_fraction": report.hidden_time_fraction,
+        "hidden_iteration_fraction": report.hidden_iteration_fraction,
+        "iterations": len(report.iterations),
+    }
+
+
+def _scale_runner(payload: dict, job: Job) -> dict:
+    """One node count of the Fig. 8 weak-scaling sweep."""
+    from ..config import Schedule
+    from ..perf.scaling import weak_scaling
+
+    point = weak_scaling(
+        [payload["nnodes"]],
+        n_single=payload.get("n_single", 256_000),
+        nb=payload.get("nb", 512),
+        schedule=Schedule(payload.get("schedule", "split")),
+    )[0]
+    return {
+        "nnodes": point.nnodes, "n": point.n, "p": point.p, "q": point.q,
+        "tflops": point.tflops,
+        "makespan": point.report.makespan,
+        "hidden_time_fraction": point.report.hidden_time_fraction,
+    }
+
+
+def _fact_runner(payload: dict, job: Job) -> dict:
+    """The Fig. 5 FACT multi-threading sweep on the CPU panel model."""
+    from ..perf.factsim import fact_sweep
+
+    curves = fact_sweep(
+        nb=payload.get("nb", 512),
+        m_multiples=payload.get("m_multiples"),
+        thread_counts=payload.get("thread_counts"),
+    )
+    return {
+        "nb": payload.get("nb", 512),
+        "curves": [
+            {"threads": c.threads, "m_values": c.m_values,
+             "gflops": c.gflops}
+            for c in curves
+        ],
+    }
+
+
+def _probe_runner(payload: dict, job: Job) -> dict:
+    """Pool self-test job: behaves as its payload instructs."""
+    behavior = payload.get("behavior", "ok")
+    if behavior == "ok":
+        return {"ok": True, "attempt": job.attempts}
+    if behavior == "sleep":
+        time.sleep(float(payload.get("seconds", 1.0)))
+        return {"ok": True, "slept": payload.get("seconds", 1.0)}
+    if behavior == "crash":
+        raise RuntimeError(payload.get("message", "probe crash"))
+    if behavior == "flaky":
+        # Fails the first `fail_times` attempts, then succeeds -- used to
+        # verify the retry path end-to-end.
+        fail_times = int(payload.get("fail_times", 1))
+        if job.attempts <= fail_times:
+            raise RuntimeError(
+                f"flaky probe failing attempt {job.attempts}/{fail_times}"
+            )
+        return {"ok": True, "attempt": job.attempts}
+    raise ServiceError(f"unknown probe behavior {behavior!r}")
+
+
+RUNNERS.update({
+    "run": _run_runner,
+    "sim": _sim_runner,
+    "scale": _scale_runner,
+    "fact": _fact_runner,
+    "probe": _probe_runner,
+})
+
+
+# ---------------------------------------------------------------------------
+# Child process entry point
+# ---------------------------------------------------------------------------
+
+
+def _child_main(workdir: str, job: Job, conn) -> None:
+    """Run one job in a dedicated process; report through ``conn``.
+
+    On success the result is written to the cache *from the child* (only
+    the key crosses the pipe) and ``("ok", key)`` is sent.  On a Python
+    exception ``("error", traceback)`` is sent.  A hard crash sends
+    nothing -- the supervisor treats a dead, silent child as a failure.
+    """
+    try:
+        result = runner_for(job.kind)(job.payload, job)
+        key = payload_key(job.kind, job.payload)
+        ResultCache(os.path.join(workdir, "cache")).put(
+            key, job.kind, job.payload, result
+        )
+        conn.send(("ok", key))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Supervisor
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Slot:
+    """One in-flight job: its process, result pipe, and deadline."""
+
+    job: Job
+    process: multiprocessing.Process
+    conn: object
+    deadline: float  # 0 = no timeout
+
+
+@dataclass
+class PoolSummary:
+    """What one :meth:`WorkerPool.run` call did."""
+
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    counts: dict = field(default_factory=dict)
+
+
+class WorkerPool:
+    """Supervisor draining a :class:`JobStore` with ``nworkers`` slots."""
+
+    def __init__(
+        self,
+        workdir,
+        nworkers: int = 2,
+        poll_interval: float = 0.02,
+        backoff_base: float = 0.5,
+        name: str = "pool",
+    ) -> None:
+        if nworkers < 1:
+            raise ServiceError(f"nworkers must be >= 1, got {nworkers}")
+        self.workdir = os.fspath(workdir)
+        self.store = JobStore(self.workdir)
+        self.nworkers = nworkers
+        self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.name = name
+        self._slots: list[_Slot] = []
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+
+    # -- outcome handling ------------------------------------------------
+
+    def _finish(self, slot: _Slot, summary: PoolSummary,
+                error: str | None, result_key: str | None) -> None:
+        job = slot.job
+        if error is None and result_key is not None:
+            self.store.mark_done(job.id, result_key)
+            summary.completed += 1
+            return
+        error = error or "worker child died without reporting"
+        if job.attempts <= job.max_retries:
+            backoff = self.backoff_base * 2 ** (job.attempts - 1)
+            self.store.requeue(job.id, error, time.time() + backoff)
+            summary.retried += 1
+        else:
+            self.store.mark_failed(job.id, error)
+            summary.failed += 1
+
+    def _reap(self, summary: PoolSummary) -> None:
+        now = time.time()
+        live: list[_Slot] = []
+        for slot in self._slots:
+            if slot.process.is_alive():
+                if slot.deadline and now >= slot.deadline:
+                    slot.process.terminate()
+                    slot.process.join(timeout=5.0)
+                    if slot.process.is_alive():  # pragma: no cover
+                        slot.process.kill()
+                        slot.process.join()
+                    slot.conn.close()
+                    self._finish(
+                        slot, summary,
+                        f"timeout: exceeded {slot.job.timeout:.3g}s", None,
+                    )
+                else:
+                    live.append(slot)
+                continue
+            # Child exited: collect its report (if it managed to send one).
+            slot.process.join()
+            outcome: tuple | None = None
+            if slot.conn.poll():
+                try:
+                    outcome = slot.conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+            slot.conn.close()
+            if outcome is not None and outcome[0] == "ok":
+                self._finish(slot, summary, None, outcome[1])
+            elif outcome is not None:
+                self._finish(slot, summary, outcome[1], None)
+            else:
+                self._finish(
+                    slot, summary,
+                    "worker child crashed"
+                    f" (exit code {slot.process.exitcode})", None,
+                )
+        self._slots = live
+
+    def _launch(self, job: Job) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_child_main,
+            args=(self.workdir, job, child_conn),
+            name=f"{self.name}-{job.id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = time.time() + job.timeout if job.timeout > 0 else 0.0
+        self._slots.append(_Slot(job, proc, parent_conn, deadline))
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self, drain: bool = True, max_seconds: float | None = None,
+            recover: bool = True) -> PoolSummary:
+        """Process jobs until the queue drains (or ``max_seconds`` pass).
+
+        ``drain=True`` (the default) exits once every job is terminal --
+        including waiting out retry backoffs.  ``drain=False`` runs
+        forever (a resident service) until ``max_seconds`` elapses or the
+        process is interrupted; in-flight children are terminated and
+        their jobs requeued/failed on the way out.
+
+        ``recover=True`` requeues jobs found already RUNNING at startup:
+        with one supervisor per workdir (the intended deployment) those
+        can only be orphans of a supervisor that died mid-job.
+        """
+        summary = PoolSummary()
+        start = time.time()
+        if recover:
+            for orphan in self.store.list(JobState.RUNNING):
+                self.store.requeue(
+                    orphan.id, "orphaned by a dead worker pool", 0.0
+                )
+        try:
+            while True:
+                self._reap(summary)
+                while len(self._slots) < self.nworkers:
+                    job = self.store.claim(
+                        f"{self.name}/{len(self._slots)}"
+                    )
+                    if job is None:
+                        break
+                    self._launch(job)
+                if drain and not self._slots and not self.store.outstanding():
+                    break
+                if max_seconds is not None \
+                        and time.time() - start > max_seconds:
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            self._shutdown(summary)
+        summary.counts = self.store.counts()
+        return summary
+
+    def _shutdown(self, summary: PoolSummary) -> None:
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+                if slot.process.is_alive():  # pragma: no cover
+                    slot.process.kill()
+                    slot.process.join()
+            slot.conn.close()
+            self._finish(slot, summary, "worker pool shut down", None)
+        self._slots = []

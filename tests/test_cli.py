@@ -68,3 +68,29 @@ class TestOtherCommands:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+
+class TestConfigErrorHandling:
+    """Invalid configs exit 2 with one clean line, not a traceback."""
+
+    def test_bad_n_exits_two_with_one_line_error(self, capsys):
+        rc = main(["run", "-N", "0"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert "n must be positive" in captured.err
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_bad_split_fraction_exits_two(self, capsys):
+        rc = main(["run", "-N", "32", "-NB", "8", "--frac", "1.5"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "split_fraction" in captured.err
+
+    def test_bad_sim_tiling_exits_two(self, capsys):
+        rc = main(["sim", "-N", "8192", "-NB", "512", "-P", "4", "-Q", "2",
+                   "--pl", "3", "--ql", "2"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "does not tile" in captured.err

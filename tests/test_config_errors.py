@@ -89,3 +89,45 @@ class TestErrorHierarchy:
         err = SpmdError({2: ValueError("x"), 0: KeyError("y")})
         assert "0, 2" in str(err)
         assert "KeyError" in str(err)  # lowest rank's error is summarized
+
+
+class TestSerialization:
+    def test_round_trip_preserves_every_field(self):
+        cfg = HPLConfig(
+            n=96, nb=16, p=2, q=3, pfact=PFactVariant.CROUT,
+            bcast=BcastVariant.BLONG, schedule=Schedule.LOOKAHEAD,
+            split_fraction=0.3, fact_threads=4, seed=7,
+        )
+        assert HPLConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_to_dict_encodes_enums_by_value(self):
+        d = HPLConfig(n=64, nb=8, p=2, q=2).to_dict()
+        assert d["pfact"] == "right"
+        assert d["schedule"] == "split"
+        assert all(not isinstance(v, Schedule) for v in d.values())
+
+    def test_from_dict_accepts_enum_values_and_members(self):
+        base = HPLConfig(n=64, nb=8, p=2, q=2).to_dict()
+        by_value = HPLConfig.from_dict({**base, "schedule": "lookahead"})
+        by_member = HPLConfig.from_dict(
+            {**base, "schedule": Schedule.LOOKAHEAD}
+        )
+        assert by_value == by_member
+
+    def test_from_dict_rejects_unknown_fields(self):
+        base = HPLConfig(n=64, nb=8, p=2, q=2).to_dict()
+        with pytest.raises(ConfigError, match="unknown"):
+            HPLConfig.from_dict({**base, "does_not_exist": 1})
+
+    def test_from_dict_rejects_bad_enum_value(self):
+        base = HPLConfig(n=64, nb=8, p=2, q=2).to_dict()
+        with pytest.raises(ConfigError, match="schedule"):
+            HPLConfig.from_dict({**base, "schedule": "bogus"})
+
+    def test_config_key_is_stable_and_content_addressed(self):
+        a = HPLConfig(n=64, nb=8, p=2, q=2)
+        b = HPLConfig(n=64, nb=8, p=2, q=2)
+        c = a.replace(nb=16)
+        assert a.config_key() == b.config_key()
+        assert a.config_key() != c.config_key()
+        assert len(a.config_key()) == 64  # sha256 hex

@@ -1,0 +1,102 @@
+"""The service CLI: submit --sweep / workers / status / results / cancel."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SWEEP_ARGS = [
+    "--sweep", "--kind", "sim",
+    "-N", "512,1024", "-NB", "64,128", "-P", "2", "-Q", "2",
+    "--frac", "0.3,0.5",
+]
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    return str(tmp_path / "svc")
+
+
+def _submit(workdir, capsys) -> str:
+    rc = main(["submit", "--workdir", workdir, *SWEEP_ARGS])
+    out = capsys.readouterr().out
+    assert rc == 0
+    return out
+
+
+class TestEndToEnd:
+    def test_sweep_submit_workers_results(self, workdir, capsys):
+        """Acceptance: an 8-point sweep completes end-to-end."""
+        out = _submit(workdir, capsys)
+        assert "submitted 8 new job(s)" in out
+
+        rc = main(["workers", "--workdir", workdir, "-n", "2",
+                   "--max-seconds", "120"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8 completed, 0 failed" in out
+        assert "8 done" in out
+
+        rc = main(["status", "--workdir", workdir])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 pending" in out and "8 done" in out
+        assert out.count("DONE") == 8
+
+        rc = main(["results", "--workdir", workdir, "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        results = json.loads(out)
+        assert len(results) == 8
+        assert all(r["score_tflops"] > 0 for r in results.values())
+
+    def test_resubmitted_sweep_is_all_cache_hits(self, workdir, capsys):
+        _submit(workdir, capsys)
+        main(["workers", "--workdir", workdir, "-n", "2",
+              "--max-seconds", "120"])
+        capsys.readouterr()
+
+        out = _submit(workdir, capsys)
+        assert "submitted 0 new job(s), 8 served from cache" in out
+
+    def test_cancel_pending_jobs(self, workdir, capsys):
+        _submit(workdir, capsys)
+        rc = main(["cancel", "--workdir", workdir, "--all"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cancelled 8 of 8" in out
+
+        main(["status", "--workdir", workdir])
+        assert "8 cancelled" in capsys.readouterr().out
+
+
+class TestSubmitValidation:
+    def test_multi_value_axis_without_sweep_flag_is_rejected(
+            self, workdir, capsys):
+        rc = main(["submit", "--workdir", workdir, "--kind", "sim",
+                   "-N", "512,1024"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--sweep" in err
+
+    def test_bad_run_config_fails_at_submit_not_in_workers(
+            self, workdir, capsys):
+        """A bad grid corner exits 2 with one clean line, pre-queue."""
+        rc = main(["submit", "--workdir", workdir, "--kind", "run",
+                   "-N", "0"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "n must be positive" in captured.err
+        assert "Traceback" not in captured.err
+        # nothing was queued
+        main(["status", "--workdir", workdir])
+        assert "0 pending" in capsys.readouterr().out
+
+    def test_unparseable_value_list_is_a_config_error(self, workdir, capsys):
+        rc = main(["submit", "--workdir", workdir, "-N", "12,potato"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

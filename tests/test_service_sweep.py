@@ -1,0 +1,85 @@
+"""Sweep expansion, deduplication, and queue-level dedup on submit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import Service, Sweep, expand_grid
+from repro.service.sweep import dedupe
+
+
+class TestExpandGrid:
+    def test_cartesian_product_in_insertion_order(self):
+        grid = expand_grid({"n": [1, 2], "nb": [8, 16]})
+        assert grid == [
+            {"n": 1, "nb": 8}, {"n": 1, "nb": 16},
+            {"n": 2, "nb": 8}, {"n": 2, "nb": 16},
+        ]
+
+    def test_scalars_act_as_length_one_axes(self):
+        grid = expand_grid({"n": [1, 2], "p": 4})
+        assert grid == [{"n": 1, "p": 4}, {"n": 2, "p": 4}]
+
+    def test_empty_axis_is_an_error(self):
+        with pytest.raises(ServiceError, match="empty"):
+            expand_grid({"n": []})
+
+
+class TestDedupe:
+    def test_repeated_values_collapse(self):
+        payloads = expand_grid({"n": [64, 64, 128]})
+        unique, dropped = dedupe("sim", payloads)
+        assert [p["n"] for p in unique] == [64, 128]
+        assert dropped == 1
+
+    def test_sweep_expand_is_already_unique(self):
+        sweep = Sweep(kind="sim", axes={"n": [64, 64], "nb": [8, 8]})
+        assert sweep.npoints == 4
+        assert len(sweep.expand()) == 1
+
+    def test_base_params_merge_and_axes_override(self):
+        sweep = Sweep(
+            kind="scale", axes={"nnodes": [1, 2]},
+            base={"nb": 512, "nnodes": 99},
+        )
+        points = sweep.expand()
+        assert [p["nnodes"] for p in points] == [1, 2]
+        assert all(p["nb"] == 512 for p in points)
+
+
+class TestQueueDedup:
+    def test_resubmitting_a_queued_sweep_adds_no_jobs(self, tmp_path):
+        """Points already PENDING are deduped, not queued twice."""
+        service = Service(tmp_path / "svc")
+        sweep = Sweep(kind="sim", axes={
+            "n": [512, 1024], "nb": [64, 128], "p": 2, "q": 2,
+        })
+        first = service.submit_sweep(sweep)
+        assert len(first.new) == 4
+
+        again = service.submit_sweep(sweep)
+        assert not again.new and not again.cached
+        assert sorted(again.deduped) == sorted(first.new)
+        assert service.store.counts()["PENDING"] == 4
+
+    def test_overlapping_sweeps_share_points(self, tmp_path):
+        service = Service(tmp_path / "svc")
+        a = service.submit_sweep(
+            Sweep(kind="sim", axes={"n": [512, 1024], "nb": 64,
+                                    "p": 2, "q": 2})
+        )
+        b = service.submit_sweep(
+            Sweep(kind="sim", axes={"n": [1024, 2048], "nb": 64,
+                                    "p": 2, "q": 2})
+        )
+        assert len(a.new) == 2
+        assert len(b.new) == 1  # 1024 already queued
+        assert len(b.deduped) == 1
+
+    def test_probe_jobs_are_never_deduped(self, tmp_path):
+        service = Service(tmp_path / "svc")
+        first = service.submit("probe", {"behavior": "ok"})
+        second = service.submit("probe", {"behavior": "ok"})
+        assert first.new and second.new
+        assert first.new != second.new
