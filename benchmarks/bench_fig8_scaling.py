@@ -5,22 +5,27 @@ once Q >= 8, N scaled to fill HBM, NB = 512, 50-50 split) and asserts its
 claims: >90 % weak-scaling efficiency at 128 nodes and a final score in
 the neighborhood of the measured 17.75 PFLOPS.
 
-This benchmark is submitted *through the batch service*
-(:mod:`repro.service`): each node count becomes one ``scale`` job, a
-two-slot worker pool drains the queue, and the points are read back from
-the content-addressed result cache -- so resubmitting the sweep (the
-final test) costs nothing and proves result reuse end-to-end.
+This benchmark is submitted *through the batch service over HTTP*
+(:mod:`repro.service.http`): a ``ServiceHTTPServer`` hosts the queue
+with a resident two-slot worker pool, each node count becomes one
+``scale`` job submitted by an :class:`AsyncServiceClient`, and the
+points are gathered back over the socket from the content-addressed
+result cache -- so resubmitting the sweep (the final test) costs
+nothing and proves networked result reuse end-to-end.
 """
 
 from __future__ import annotations
 
+import asyncio
+import random
 from dataclasses import dataclass
 
 import pytest
 
 from repro.perf.report import format_scaling_table
 from repro.perf.scaling import weak_scaling_efficiency
-from repro.service import Service, Sweep
+from repro.service import Sweep
+from repro.service.http import AsyncServiceClient, ServiceHTTPServer
 
 from .conftest import write_artifact
 
@@ -44,32 +49,44 @@ class _Point:
     tflops: float
 
 
-def _run_sweep(service: Service) -> list[_Point]:
-    receipt = service.submit_sweep(SWEEP)
-    service.run_workers(n=2)
-    points = []
-    for result in service.results(receipt.job_ids).values():
-        assert result is not None, "scale job did not complete"
-        points.append(_Point(
+def _run_sweep(url: str) -> list[_Point]:
+    async def gather() -> list[dict]:
+        client = AsyncServiceClient(url, poll_initial=0.05, poll_max=1.0,
+                                    rng=random.Random(8))
+        receipt = await client.submit_sweep(SWEEP)
+        views = await client.wait(receipt["job_ids"], timeout=1800)
+        results = []
+        for jid in receipt["job_ids"]:
+            assert views[jid]["state"] == "DONE", \
+                f"scale job {jid} ended {views[jid]['state']}"
+            results.append(views[jid]["result"])
+        return results
+
+    points = [
+        _Point(
             nnodes=result["nnodes"], n=result["n"], p=result["p"],
             q=result["q"], tflops=result["tflops"],
-        ))
+        )
+        for result in asyncio.run(gather())
+    ]
     return sorted(points, key=lambda pt: pt.nnodes)
 
 
 @pytest.fixture(scope="module")
-def service(tmp_path_factory):
-    return Service(tmp_path_factory.mktemp("fig8-service"))
+def server(tmp_path_factory):
+    with ServiceHTTPServer(tmp_path_factory.mktemp("fig8-service"),
+                           port=0, workers=2) as srv:
+        yield srv
 
 
 @pytest.fixture(scope="module")
-def points(service):
-    return _run_sweep(service)
+def points(server):
+    return _run_sweep(server.url)
 
 
-def test_fig8_series(benchmark, service, points, artifact_dir):
+def test_fig8_series(benchmark, server, points, artifact_dir):
     fresh = benchmark.pedantic(
-        _run_sweep, args=(service,), rounds=1, iterations=1
+        _run_sweep, args=(server.url,), rounds=1, iterations=1
     )
     write_artifact("fig8_weak_scaling.txt", format_scaling_table(fresh))
     assert [p.nnodes for p in fresh] == NODE_COUNTS
@@ -104,15 +121,18 @@ def test_fig8_grid_policy_matches_paper(points):
     assert (points[-1].p, points[-1].q) == (32, 32)
 
 
-def test_fig8_resubmission_served_from_cache(service, points):
+def test_fig8_resubmission_served_from_cache(server, points):
     """The whole sweep resubmitted is a pure cache hit: no job runs."""
-    claimed_before = sum(
-        1 for e in service.store.events() if e["event"] == "claimed"
+    store = server.service.store
+    launched_before = sum(
+        1 for e in store.events() if e["event"] == "launched"
     )
-    receipt = service.submit_sweep(SWEEP)
-    assert len(receipt.cached) == len(NODE_COUNTS)
-    assert not receipt.new
-    claimed_after = sum(
-        1 for e in service.store.events() if e["event"] == "claimed"
+    async def resubmit():
+        return await AsyncServiceClient(server.url).submit_sweep(SWEEP)
+    receipt = asyncio.run(resubmit())
+    assert len(receipt["cached"]) == len(NODE_COUNTS)
+    assert not receipt["new"]
+    launched_after = sum(
+        1 for e in store.events() if e["event"] == "launched"
     )
-    assert claimed_after == claimed_before
+    assert launched_after == launched_before

@@ -14,9 +14,14 @@ Batch service commands (see ``docs/service.md``):
 
 * ``submit``   -- queue one run or a ``--sweep`` parameter grid.
 * ``workers``  -- drain the queue with a multiprocess worker pool.
+* ``serve``    -- run the JSON-over-HTTP front-end (plus an in-process
+                  worker pool) so remote clients share one queue.
 * ``status``   -- job counts and per-job states.
 * ``results``  -- print results of completed jobs.
 * ``cancel``   -- cancel pending jobs.
+
+``submit``/``status``/``results``/``cancel`` accept ``--url`` to operate
+against a remote ``repro serve`` instance instead of a local workdir.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import argparse
 import sys
 
 from .config import BcastVariant, HPLConfig, PFactVariant, Schedule
-from .errors import ConfigError, ReproError
+from .errors import ConfigError, ReproError, UnknownJobError
 
 
 def _add_grid_args(p: argparse.ArgumentParser) -> None:
@@ -271,21 +276,38 @@ def _submit_sweep(args: argparse.Namespace):
     raise ConfigError(f"unknown job kind {args.kind!r}")
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service import Service
+def _remote_client(args: argparse.Namespace):
+    """The :class:`ServiceClient` for ``--url``, or None for local mode."""
+    if not getattr(args, "url", None):
+        return None
+    from .service.http.client import ServiceClient
 
-    service = Service(args.workdir)
-    receipt = service.submit_sweep(
-        _submit_sweep(args), timeout=args.timeout, max_retries=args.retries
-    )
-    print(f"submitted {len(receipt.new)} new job(s), "
-          f"{len(receipt.cached)} served from cache, "
-          f"{len(receipt.deduped)} deduplicated against the queue")
-    for jid in receipt.new:
+    return ServiceClient(args.url)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    sweep = _submit_sweep(args)
+    client = _remote_client(args)
+    if client is not None:
+        receipt = client.submit_sweep(
+            sweep, timeout=args.timeout, max_retries=args.retries
+        )
+    else:
+        from .service import Service
+
+        local = Service(args.workdir).submit_sweep(
+            sweep, timeout=args.timeout, max_retries=args.retries
+        )
+        receipt = {"new": local.new, "cached": local.cached,
+                   "deduped": local.deduped}
+    print(f"submitted {len(receipt['new'])} new job(s), "
+          f"{len(receipt['cached'])} served from cache, "
+          f"{len(receipt['deduped'])} deduplicated against the queue")
+    for jid in receipt["new"]:
         print(f"  queued  {jid}")
-    for jid in receipt.cached:
+    for jid in receipt["cached"]:
         print(f"  cached  {jid}")
-    for jid in receipt.deduped:
+    for jid in receipt["deduped"]:
         print(f"  dup-of  {jid}")
     return 0
 
@@ -306,31 +328,61 @@ def _cmd_workers(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
-    from .service import Service
+def _print_job_rows(jobs: list[dict]) -> None:
+    print(f"{'id':<14}{'kind':<8}{'state':<11}{'tries':<7}note")
+    for j in jobs:
+        note = "cached" if j["cached"] else j["error"][:60]
+        print(f"{j['id']:<14}{j['kind']:<8}{j['state']:<11}"
+              f"{j['attempts']:<7}{note}")
 
-    status = Service(args.workdir).status()
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _remote_client(args)
+    if client is not None:
+        if args.ids:
+            _print_job_rows([client.job(jid) for jid in args.ids])
+            return 0
+        status = client.status()
+        where = f"{args.url} ({status['workdir']})"
+    else:
+        from .service import Service
+
+        service = Service(args.workdir)
+        if args.ids:
+            jobs = [service.job(jid) for jid in args.ids]
+            _print_job_rows([
+                {"id": j.id, "kind": j.kind, "state": j.state.value,
+                 "attempts": j.attempts, "cached": j.cached,
+                 "error": j.error.splitlines()[-1] if j.error else ""}
+                for j in jobs
+            ])
+            return 0
+        status = service.status()
+        where = f"workdir {status['workdir']}"
     c = status["counts"]
-    print(f"workdir {status['workdir']}: "
+    print(f"{where}: "
           + ", ".join(f"{c[s]} {s.lower()}" for s in
                       ("PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED")))
     if status["jobs"]:
-        print(f"{'id':<14}{'kind':<8}{'state':<11}{'tries':<7}note")
-        for j in status["jobs"]:
-            note = "cached" if j["cached"] else j["error"][:60]
-            print(f"{j['id']:<14}{j['kind']:<8}{j['state']:<11}"
-                  f"{j['attempts']:<7}{note}")
+        _print_job_rows(status["jobs"])
     return 0
 
 
 def _cmd_results(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .service import JobState, Service
+    client = _remote_client(args)
+    if client is not None:
+        ids = args.ids or [
+            j["id"] for j in client.status()["jobs"] if j["state"] == "DONE"
+        ]
+        results = {jid: client.result(jid)["result"] for jid in ids}
+    else:
+        from .service import JobState, Service
 
-    service = Service(args.workdir)
-    ids = args.ids or [j.id for j in service.store.list(JobState.DONE)]
-    results = service.results(ids)
+        service = Service(args.workdir)
+        ids = args.ids or [j.id for j in service.store.list(JobState.DONE)]
+        results = service.results(ids)
     if args.json:
         print(_json.dumps(results, indent=2, sort_keys=True))
         return 0
@@ -351,25 +403,60 @@ def _cmd_results(args: argparse.Namespace) -> int:
 
 
 def _cmd_cancel(args: argparse.Namespace) -> int:
-    from .service import JobState, Service
+    client = _remote_client(args)
+    if client is not None:
+        ids = args.ids
+        if args.all:
+            ids = [j["id"] for j in client.status()["jobs"]
+                   if j["state"] == "PENDING"]
+        if not ids:
+            print("nothing to cancel")
+            return 0
+        cancelled = [jid for jid in ids if client.cancel(jid)]
+    else:
+        from .service import JobState, Service
 
-    service = Service(args.workdir)
-    ids = args.ids
-    if args.all:
-        ids = [j.id for j in service.store.list(JobState.PENDING)]
-    if not ids:
-        print("nothing to cancel")
-        return 0
-    cancelled = service.cancel(ids)
+        service = Service(args.workdir)
+        ids = args.ids
+        if args.all:
+            ids = [j.id for j in service.store.list(JobState.PENDING)]
+        if not ids:
+            print("nothing to cancel")
+            return 0
+        cancelled = service.cancel(ids)
     print(f"cancelled {len(cancelled)} of {len(ids)} job(s)")
     for jid in cancelled:
         print(f"  cancelled {jid}")
     return 0 if len(cancelled) == len(ids) else 1
 
 
-def _add_service_args(p: argparse.ArgumentParser) -> None:
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.http.server import ServiceHTTPServer
+
+    server = ServiceHTTPServer(
+        args.workdir, host=args.host, port=args.port,
+        workers=args.workers, backoff_base=args.backoff, quiet=args.quiet,
+    )
+    print(f"serving {server.service.workdir} on {server.url} "
+          f"with {args.workers} worker slot(s)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        print("server stopped", flush=True)
+    return 0
+
+
+def _add_service_args(p: argparse.ArgumentParser,
+                      remote: bool = False) -> None:
     p.add_argument("--workdir", default=".repro-service",
                    help="service state directory (queue + cache)")
+    if remote:
+        p.add_argument("--url", default="",
+                       help="operate on a remote `repro serve` instance "
+                            "instead of a local workdir")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -441,7 +528,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub = sub.add_parser(
         "submit", help="queue a benchmark run (or --sweep grid) in the service"
     )
-    _add_service_args(p_sub)
+    _add_service_args(p_sub, remote=True)
     p_sub.add_argument("--kind", choices=["run", "sim", "scale", "fact"],
                        default="sim", help="what each job executes")
     p_sub.add_argument("--sweep", action="store_true",
@@ -485,19 +572,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keep serving instead of exiting when drained")
     p_work.set_defaults(fn=_cmd_workers)
 
+    p_serve = sub.add_parser(
+        "serve", help="serve the queue over HTTP (see docs/service.md)"
+    )
+    _add_service_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind")
+    p_serve.add_argument("--port", type=int, default=8400,
+                         help="port to bind (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="in-process worker slots (0 = serve only; "
+                              "run `repro workers` separately)")
+    p_serve.add_argument("--backoff", type=float, default=0.5,
+                         help="retry backoff base (seconds)")
+    p_serve.add_argument("--verbose", dest="quiet", action="store_false",
+                         help="log every request to stderr")
+    p_serve.set_defaults(fn=_cmd_serve)
+
     p_stat = sub.add_parser("status", help="job counts and per-job states")
-    _add_service_args(p_stat)
+    _add_service_args(p_stat, remote=True)
+    p_stat.add_argument("ids", nargs="*",
+                        help="job ids to show (default: every job)")
     p_stat.set_defaults(fn=_cmd_status)
 
     p_res = sub.add_parser("results", help="print results of completed jobs")
-    _add_service_args(p_res)
+    _add_service_args(p_res, remote=True)
     p_res.add_argument("ids", nargs="*", help="job ids (default: all DONE)")
     p_res.add_argument("--json", action="store_true",
                        help="dump results as JSON")
     p_res.set_defaults(fn=_cmd_results)
 
     p_can = sub.add_parser("cancel", help="cancel pending jobs")
-    _add_service_args(p_can)
+    _add_service_args(p_can, remote=True)
     p_can.add_argument("ids", nargs="*", help="job ids to cancel")
     p_can.add_argument("--all", action="store_true",
                        help="cancel every pending job")
@@ -516,6 +622,11 @@ def main(argv: list[str] | None = None) -> int:
         # Invalid configuration: one clean line, exit 2, so scripts and
         # service workers can tell bad input from a crash (which still
         # tracebacks).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except UnknownJobError as exc:
+        # Same contract as ConfigError: a job id the caller made up is
+        # bad input, not a service failure.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:

@@ -7,6 +7,9 @@ multiprocess worker pool with timeouts and bounded retry
 (:mod:`.workers`), and a sweep expander (:mod:`.sweep`), all fronted by
 the :class:`~repro.service.api.Service` facade and the ``repro submit``
 / ``workers`` / ``status`` / ``results`` / ``cancel`` CLI commands.
+The facade is transport-agnostic; :mod:`repro.service.http` serves it
+over a socket (``repro serve``) with blocking and asyncio clients so
+remote submitters share one queue and cache.
 
 The design follows HPC job-service practice (Balsam's job store +
 launcher + worker states): jobs carry lifecycle states
@@ -18,21 +21,23 @@ from __future__ import annotations
 
 from .api import Service, SubmitReceipt
 from .cache import ResultCache, payload_key
-from .jobs import Job, JobState
+from .jobs import Job, JobState, new_job_id
 from .store import JobStore
 from .sweep import Sweep, expand_grid
-from .workers import WorkerPool, register_runner
+from .workers import PoolSummary, WorkerPool, register_runner
 
 __all__ = [
     "Job",
     "JobState",
     "JobStore",
+    "PoolSummary",
     "ResultCache",
     "Service",
     "SubmitReceipt",
     "Sweep",
     "WorkerPool",
     "expand_grid",
+    "new_job_id",
     "payload_key",
     "register_runner",
 ]

@@ -71,24 +71,28 @@ class Service:
             raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
         key = payload_key(kind, payload)
         receipt = SubmitReceipt()
-        if kind not in UNCACHED_KINDS:
-            if key in self.cache:
-                job = Job(
-                    id=new_job_id(), kind=kind, payload=payload, key=key,
-                    state=JobState.DONE, result_key=key, cached=True,
-                    timeout=timeout, max_retries=max_retries,
-                )
-                self.store.add(job)
-                receipt.cached.append(job.id)
-                return receipt
-            active = self.store.active_by_key(key)
-            if active is not None:
-                receipt.deduped.append(active.id)
-                return receipt
         job = Job(
             id=new_job_id(), kind=kind, payload=payload, key=key,
             timeout=timeout, max_retries=max_retries,
         )
+        if kind not in UNCACHED_KINDS:
+            if key in self.cache:
+                job.state = JobState.DONE
+                job.result_key = key
+                job.cached = True
+                self.store.add(job)
+                receipt.cached.append(job.id)
+                return receipt
+            # The existence check and the insert are one store
+            # transaction, so concurrent submitters (HTTP handler
+            # threads, parallel processes) can never queue two active
+            # jobs for one content key.
+            added, existing = self.store.add_if_no_active(job)
+            if existing is not None:
+                receipt.deduped.append(existing.id)
+            else:
+                receipt.new.append(added.id)
+            return receipt
         self.store.add(job)
         receipt.new.append(job.id)
         return receipt

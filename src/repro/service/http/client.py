@@ -1,0 +1,282 @@
+"""Clients for the HTTP front-end: blocking and asyncio-polling.
+
+:class:`ServiceClient` is a thin blocking wrapper over
+``urllib.request`` that mirrors the :class:`~repro.service.api.Service`
+facade (submit / submit_sweep / job / result / cancel / queue) and maps
+the server's error contract back onto the library's exceptions:
+**400** -> :class:`~repro.errors.ConfigError`, **404** ->
+:class:`~repro.errors.UnknownJobError`, **422** (and anything else) ->
+:class:`~repro.errors.ServiceError`.
+
+:class:`AsyncServiceClient` layers asyncio on top for the batch shape
+the paper's experiments have (submit a grid, gather the points): every
+call is awaitable, and :meth:`AsyncServiceClient.wait` polls a set of
+job ids with exponential backoff plus jitter -- the delay doubles while
+nothing changes (so idle polling backs off to ``poll_max``) and resets
+to ``poll_initial`` whenever a job reaches a terminal state, with a
+random jitter factor so a fleet of clients does not synchronize its
+polls against one server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+
+from ...errors import ConfigError, ServiceError, UnknownJobError
+from ..jobs import JobState
+from ..sweep import Sweep
+
+_ERROR_BY_STATUS = {
+    400: ConfigError,
+    404: UnknownJobError,
+    422: ServiceError,
+}
+
+#: States from which a job will never produce further transitions.
+TERMINAL_STATES = frozenset(
+    s.value for s in JobState if s.terminal
+)
+
+
+class WaitTimeout(ServiceError, TimeoutError):
+    """A ``wait()`` deadline passed with jobs still outstanding."""
+
+    def __init__(self, outstanding: list[str], timeout: float) -> None:
+        self.outstanding = list(outstanding)
+        super().__init__(
+            f"timed out after {timeout:.3g}s waiting for"
+            f" {len(self.outstanding)} job(s):"
+            f" {', '.join(self.outstanding)}"
+        )
+
+
+class _Backoff:
+    """Exponential backoff with jitter; resets on observed progress."""
+
+    def __init__(self, initial: float, maximum: float, factor: float,
+                 jitter: float, rng: random.Random) -> None:
+        self.initial = initial
+        self.maximum = maximum
+        self.factor = factor
+        self.jitter = jitter
+        self.rng = rng
+        self.delay = initial
+
+    def next_delay(self, progressed: bool) -> float:
+        if progressed:
+            self.delay = self.initial
+        else:
+            self.delay = min(self.delay * self.factor, self.maximum)
+        # uniform jitter in [1 - j, 1 + j] around the nominal delay
+        return self.delay * (1.0 + self.jitter * (2.0 * self.rng.random() - 1.0))
+
+
+def _sweep_spec(sweep) -> dict:
+    if isinstance(sweep, Sweep):
+        return {"kind": sweep.kind, "axes": sweep.axes, "base": sweep.base}
+    if isinstance(sweep, dict) and "kind" in sweep:
+        return {"kind": sweep["kind"], "axes": sweep.get("axes", {}),
+                "base": sweep.get("base", {})}
+    raise ConfigError(
+        "sweep must be a repro.service.Sweep or a dict with kind/axes/base"
+    )
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one service URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        if "://" not in url:
+            url = f"http://{url}"
+        self.base_url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read() or b"{}").get("error", "")
+            except (json.JSONDecodeError, OSError):
+                message = ""
+            message = message or f"HTTP {exc.code} from {self.base_url}{path}"
+            cls = _ERROR_BY_STATUS.get(exc.code, ServiceError)
+            raise cls(message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # -- facade mirror ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def queue(self) -> dict:
+        """Counts by state plus the outstanding (non-terminal) total."""
+        return self._request("GET", "/v1/queue")
+
+    def status(self) -> dict:
+        """Full service status: workdir, counts, per-job summary rows."""
+        return self._request("GET", "/v1/jobs")
+
+    def submit(self, kind: str, payload: dict, timeout: float = 0.0,
+               max_retries: int = 2) -> dict:
+        """Submit one job; returns the receipt's disposition lists."""
+        return self._request("POST", "/v1/jobs", {
+            "kind": kind, "payload": payload,
+            "timeout": timeout, "max_retries": max_retries,
+        })
+
+    def submit_sweep(self, sweep, timeout: float = 0.0,
+                     max_retries: int = 2) -> dict:
+        """Submit a :class:`~repro.service.Sweep` (or spec dict)."""
+        return self._request("POST", "/v1/jobs", {
+            "sweep": _sweep_spec(sweep),
+            "timeout": timeout, "max_retries": max_retries,
+        })
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Result view: ``{id, state, ready, result, error, cached}``."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel one PENDING job; True when this call cancelled it."""
+        return bool(
+            self._request("POST", f"/v1/jobs/{job_id}/cancel")["cancelled"]
+        )
+
+    def wait(self, job_ids, timeout: float | None = None,
+             poll_initial: float = 0.05, poll_max: float = 2.0,
+             poll_factor: float = 2.0, jitter: float = 0.25,
+             rng: random.Random | None = None) -> dict[str, dict]:
+        """Block until every job is terminal; returns id -> result view.
+
+        The synchronous twin of :meth:`AsyncServiceClient.wait`, with
+        the same backoff-and-jitter polling policy.
+        """
+        outstanding = list(dict.fromkeys(job_ids))
+        views: dict[str, dict] = {}
+        backoff = _Backoff(poll_initial, poll_max, poll_factor, jitter,
+                           rng or random.Random())
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while outstanding:
+            progressed = False
+            for jid in list(outstanding):
+                view = self.result(jid)
+                if view["state"] in TERMINAL_STATES:
+                    views[jid] = view
+                    outstanding.remove(jid)
+                    progressed = True
+            if not outstanding:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WaitTimeout(outstanding, timeout)
+            time.sleep(backoff.next_delay(progressed))
+        return views
+
+
+class AsyncServiceClient:
+    """Asyncio wrapper: awaitable calls plus a polling ``wait`` gather.
+
+    Blocking HTTP calls run on the event loop's default executor, so
+    many clients (or many concurrent ``wait`` gathers) can share one
+    loop.  Pass an ``rng`` (e.g. ``random.Random(0)``) for
+    deterministic jitter in tests.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 poll_initial: float = 0.05, poll_max: float = 2.0,
+                 poll_factor: float = 2.0, jitter: float = 0.25,
+                 rng: random.Random | None = None) -> None:
+        self._client = ServiceClient(url, timeout=timeout)
+        self.poll_initial = poll_initial
+        self.poll_max = poll_max
+        self.poll_factor = poll_factor
+        self.jitter = jitter
+        self.rng = rng or random.Random()
+
+    @property
+    def base_url(self) -> str:
+        return self._client.base_url
+
+    async def _call(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(fn, *args, **kwargs)
+        )
+
+    async def healthz(self) -> dict:
+        return await self._call(self._client.healthz)
+
+    async def queue(self) -> dict:
+        return await self._call(self._client.queue)
+
+    async def status(self) -> dict:
+        return await self._call(self._client.status)
+
+    async def submit(self, kind: str, payload: dict, timeout: float = 0.0,
+                     max_retries: int = 2) -> dict:
+        return await self._call(self._client.submit, kind, payload,
+                                timeout=timeout, max_retries=max_retries)
+
+    async def submit_sweep(self, sweep, timeout: float = 0.0,
+                           max_retries: int = 2) -> dict:
+        return await self._call(self._client.submit_sweep, sweep,
+                                timeout=timeout, max_retries=max_retries)
+
+    async def job(self, job_id: str) -> dict:
+        return await self._call(self._client.job, job_id)
+
+    async def result(self, job_id: str) -> dict:
+        return await self._call(self._client.result, job_id)
+
+    async def cancel(self, job_id: str) -> bool:
+        return await self._call(self._client.cancel, job_id)
+
+    async def wait(self, job_ids, timeout: float | None = None) -> dict[str, dict]:
+        """Poll until every job id is terminal; id -> result view.
+
+        Returns a mapping whose values are the ``/result`` views
+        (``state``, ``ready``, ``result``, ``error``), covering DONE,
+        FAILED, and CANCELLED alike -- callers decide what failure
+        means for them.  Raises :class:`WaitTimeout` if ``timeout``
+        seconds pass first.
+        """
+        outstanding = list(dict.fromkeys(job_ids))
+        views: dict[str, dict] = {}
+        backoff = _Backoff(self.poll_initial, self.poll_max,
+                           self.poll_factor, self.jitter, self.rng)
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while outstanding:
+            progressed = False
+            for jid in list(outstanding):
+                view = await self.result(jid)
+                if view["state"] in TERMINAL_STATES:
+                    views[jid] = view
+                    outstanding.remove(jid)
+                    progressed = True
+            if not outstanding:
+                break
+            if deadline is not None and loop.time() >= deadline:
+                raise WaitTimeout(outstanding, timeout)
+            await asyncio.sleep(backoff.next_delay(progressed))
+        return views

@@ -1,0 +1,330 @@
+"""JSON-over-HTTP front-end for the batch service (stdlib only).
+
+:class:`ServiceHTTPServer` wraps one :class:`~repro.service.api.Service`
+behind a :class:`http.server.ThreadingHTTPServer`, so many remote
+clients share a single queue and result cache -- the networked analogue
+of many independent submitters keeping one tiled-factorization worker
+pool saturated.  Optionally it also hosts an in-process
+:class:`~repro.service.workers.WorkerPool` on a background thread
+(``workers > 0``), which is what ``repro serve`` runs.
+
+Endpoints (all request/response bodies are JSON):
+
+=======  ==========================  =======================================
+method   path                        action
+=======  ==========================  =======================================
+POST     ``/v1/jobs``                submit one job or a sweep
+GET      ``/v1/jobs``                full status (counts + per-job rows)
+GET      ``/v1/jobs/{id}``           one job's view
+GET      ``/v1/jobs/{id}/result``    result (``ready`` flag while pending)
+POST     ``/v1/jobs/{id}/cancel``    cancel a PENDING job
+GET      ``/v1/queue``               counts by state + outstanding total
+GET      ``/v1/healthz``             liveness probe
+=======  ==========================  =======================================
+
+Error contract: :class:`~repro.errors.ConfigError` (bad parameters) maps
+to **400**, an unknown job id to **404**, any other
+:class:`~repro.errors.ServiceError` (unknown kind, bad submission shape)
+to **422**; every error body is a one-line ``{"error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ...config import HPLConfig
+from ...errors import ConfigError, ServiceError, UnknownJobError
+from ..api import Service, SubmitReceipt
+from ..jobs import Job
+from ..sweep import Sweep
+from ..workers import WorkerPool
+
+_JOB_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)$")
+_RESULT_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result$")
+_CANCEL_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/cancel$")
+
+
+def job_view(job: Job) -> dict:
+    """The JSON shape one job is reported as over the wire."""
+    return {
+        "id": job.id,
+        "kind": job.kind,
+        "state": job.state.value,
+        "attempts": job.attempts,
+        "cached": job.cached,
+        "key": job.key,
+        "payload": job.payload,
+        "error": job.error.splitlines()[-1] if job.error else "",
+        "created": job.created,
+        "updated": job.updated,
+    }
+
+
+def receipt_view(receipt: SubmitReceipt) -> dict:
+    return {
+        "new": receipt.new,
+        "cached": receipt.cached,
+        "deduped": receipt.deduped,
+        "job_ids": receipt.job_ids,
+    }
+
+
+def _validate_payloads(kind: str, payloads: list) -> None:
+    """Reject bad submissions before they enter the queue.
+
+    ``run`` payloads are full :class:`HPLConfig` dicts, so every grid
+    point is constructed eagerly -- a bad corner fails the whole
+    submission with a 400, mirroring the CLI's submit-time validation.
+    """
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"job payload must be a JSON object, got {type(payload).__name__}"
+            )
+        if kind == "run":
+            depth0 = {"depth": 0} if payload.get("schedule") == "classic" \
+                else {}
+            HPLConfig.from_dict({**payload, **depth0})
+
+
+def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
+                                           float, int]:
+    if not isinstance(body, dict):
+        raise ConfigError("submission body must be a JSON object")
+    try:
+        timeout = float(body.get("timeout", 0.0))
+        max_retries = int(body.get("max_retries", 2))
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"bad timeout/max_retries: {exc}") from None
+    if "sweep" in body:
+        spec = body["sweep"]
+        if not isinstance(spec, dict) or "kind" not in spec:
+            raise ConfigError("'sweep' must be an object with a 'kind'")
+        sweep = Sweep(
+            kind=spec["kind"],
+            axes=spec.get("axes", {}),
+            base=spec.get("base", {}),
+        )
+        return sweep.kind, sweep.expand(), sweep, timeout, max_retries
+    if "kind" in body:
+        payload = body.get("payload", {})
+        return body["kind"], [payload], None, timeout, max_retries
+    raise ServiceError(
+        "submission must carry either 'kind' + 'payload' or a 'sweep'"
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; route through
+    # the server's quiet flag so tests and embedded servers stay silent.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> Service:
+        return self.server.service
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(self, status: int, obj: dict) -> None:
+        data = json.dumps(obj, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message.splitlines()[-1]})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"request body is not valid JSON: {exc}") \
+                from None
+
+    def _dispatch(self, fn) -> None:
+        try:
+            status, obj = fn()
+        except ConfigError as exc:
+            self._send_error_json(400, str(exc))
+        except UnknownJobError as exc:
+            self._send_error_json(404, str(exc))
+        except ServiceError as exc:
+            self._send_error_json(422, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send_json(status, obj)
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch(self._route_post)
+
+    def _route_get(self) -> tuple[int, dict]:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/v1/healthz":
+            return 200, {
+                "ok": True,
+                "workdir": self.service.workdir,
+                "workers": getattr(self.server, "workers", 0),
+            }
+        if path == "/v1/queue":
+            counts = self.service.store.counts()
+            return 200, {
+                "counts": counts,
+                "outstanding": self.service.store.outstanding(),
+            }
+        if path == "/v1/jobs":
+            return 200, self.service.status()
+        m = _JOB_RE.match(path)
+        if m:
+            return 200, job_view(self.service.job(m.group(1)))
+        m = _RESULT_RE.match(path)
+        if m:
+            job = self.service.job(m.group(1))
+            result = self.service.result(job.id)
+            return 200, {
+                "id": job.id,
+                "state": job.state.value,
+                "cached": job.cached,
+                "ready": result is not None,
+                "result": result,
+                "error": job.error.splitlines()[-1] if job.error else "",
+            }
+        raise UnknownJobError(f"no such endpoint: GET {path}")
+
+    def _route_post(self) -> tuple[int, dict]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/jobs":
+            body = self._read_body()
+            kind, payloads, sweep, timeout, max_retries = \
+                _parse_submission(body)
+            _validate_payloads(kind, payloads)
+            if sweep is not None:
+                receipt = self.service.submit_sweep(
+                    sweep, timeout=timeout, max_retries=max_retries
+                )
+            else:
+                receipt = self.service.submit(
+                    kind, payloads[0], timeout=timeout,
+                    max_retries=max_retries,
+                )
+            return 200, receipt_view(receipt)
+        m = _CANCEL_RE.match(path)
+        if m:
+            job = self.service.job(m.group(1))  # 404 on unknown id
+            cancelled = self.service.cancel([job.id])
+            return 200, {"id": job.id, "cancelled": bool(cancelled)}
+        raise UnknownJobError(f"no such endpoint: POST {path}")
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    service: Service
+    quiet: bool = True
+    workers: int = 0
+
+
+class ServiceHTTPServer:
+    """One service workdir served over HTTP, with an optional pool.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` /
+    ``.url``).  ``workers > 0`` runs an in-process
+    :class:`WorkerPool` on a background thread for the server's
+    lifetime, so one ``repro serve`` process is a complete batch system.
+    Usable as a context manager: ``with ServiceHTTPServer(...) as srv:``
+    starts the background threads and tears them down cleanly.
+    """
+
+    def __init__(self, workdir, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 0, backoff_base: float = 0.5,
+                 poll_interval: float = 0.02, quiet: bool = True) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        self.service = Service(workdir, backoff_base=backoff_base)
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.service = self.service
+        self._httpd.quiet = quiet
+        self._httpd.workers = workers
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serve_thread: threading.Thread | None = None
+        self._pool_thread: threading.Thread | None = None
+        self._pool_stop = threading.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _start_pool(self) -> None:
+        if self.workers < 1 or self._pool_thread is not None:
+            return
+        pool = WorkerPool(
+            self.service.workdir, nworkers=self.workers,
+            poll_interval=self.poll_interval,
+            backoff_base=self.service.backoff_base, name="serve",
+        )
+        self._pool_stop.clear()
+        self._pool_thread = threading.Thread(
+            target=pool.run,
+            kwargs={"drain": False, "stop": self._pool_stop},
+            name="repro-serve-pool", daemon=True,
+        )
+        self._pool_thread.start()
+
+    def start(self) -> "ServiceHTTPServer":
+        """Serve on a background thread (returns immediately)."""
+        if self._serve_thread is None:
+            self._start_pool()
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-serve-http", daemon=True,
+            )
+            self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` loop)."""
+        self._start_pool()
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def shutdown(self) -> None:
+        """Stop serving, stop the pool, release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10.0)
+            self._serve_thread = None
+        if self._pool_thread is not None:
+            self._pool_stop.set()
+            self._pool_thread.join(timeout=30.0)
+            self._pool_thread = None
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -7,9 +7,11 @@ transactions serialize claimers across processes), and the sidecar
 operators can audit exactly what ran -- e.g. "how many jobs entered
 RUNNING during this resubmission?" is a one-line scan.
 
-Connections are opened lazily *per process*: a :class:`JobStore` handle
-may be created in a supervisor and used after ``fork`` in a worker
-child; each process gets its own connection.
+Connections are opened lazily *per process and per thread*: a
+:class:`JobStore` handle may be created in a supervisor and used after
+``fork`` in a worker child, or shared by the threads of an HTTP
+front-end; each (process, thread) pair gets its own connection, since
+SQLite connections are neither fork- nor thread-shareable.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
 
 from ..errors import UnknownJobError
@@ -56,30 +59,39 @@ class JobStore:
         os.makedirs(self.workdir, exist_ok=True)
         self.db_path = os.path.join(self.workdir, "jobs.sqlite")
         self.events_path = os.path.join(self.workdir, "events.jsonl")
-        self._conn: sqlite3.Connection | None = None
-        self._pid = -1
+        self._local = threading.local()
+        self._events_lock = threading.Lock()
         self._connection()  # create the schema eagerly
 
     # -- connection management -------------------------------------------
 
     def _connection(self) -> sqlite3.Connection:
         pid = os.getpid()
-        if self._conn is None or self._pid != pid:
+        conn = getattr(self._local, "conn", None)
+        if conn is None or getattr(self._local, "pid", -1) != pid:
             # A connection inherited across fork must not be reused (the
-            # child would share the parent's file locks); open fresh.
+            # child would share the parent's file locks), and sqlite3
+            # connections refuse cross-thread use; open fresh per
+            # (process, thread).
             conn = sqlite3.connect(self.db_path, timeout=30.0)
             conn.isolation_level = None  # explicit transactions only
             conn.execute("PRAGMA busy_timeout = 30000")
             conn.executescript(_SCHEMA)
-            self._conn = conn
-            self._pid = pid
-        return self._conn
+            self._local.conn = conn
+            self._local.pid = pid
+        return conn
 
     def _event(self, job_id: str, event: str, **extra) -> None:
         record = {"t": time.time(), "pid": os.getpid(), "job": job_id,
                   "event": event, **extra}
-        with open(self.events_path, "a") as fh:
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._events_lock:
+            with open(self.events_path, "a") as fh:
+                fh.write(line)
+
+    def log_event(self, job_id: str, event: str, **extra) -> None:
+        """Append a custom record to the JSONL audit log."""
+        self._event(job_id, event, **extra)
 
     def events(self) -> list[dict]:
         """All logged events, oldest first (empty if none yet)."""
@@ -105,6 +117,39 @@ class JobStore:
         self._event(job.id, "submitted", kind=job.kind, key=job.key,
                     state=job.state.value, cached=job.cached)
         return job
+
+    def add_if_no_active(self, job: Job) -> tuple[Job | None, Job | None]:
+        """Insert ``job`` unless an active job already holds its key.
+
+        The existence check and the insert share one ``BEGIN IMMEDIATE``
+        transaction, so two submitters racing on the same content key
+        (threads of an HTTP front-end, or separate processes) can never
+        both queue a job for it.  Returns ``(job, None)`` when the job
+        was inserted and ``(None, existing)`` when a PENDING/RUNNING
+        twin was found instead.
+        """
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE key = ? AND state IN (?, ?)"
+                " ORDER BY created LIMIT 1",
+                (job.key, JobState.PENDING.value, JobState.RUNNING.value),
+            ).fetchone()
+            if row is not None:
+                conn.execute("COMMIT")
+                return None, Job.from_row(row)
+            conn.execute(
+                f"INSERT INTO jobs ({_COLS}) VALUES ({_PLACEHOLDERS})",
+                job.to_row(),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        self._event(job.id, "submitted", kind=job.kind, key=job.key,
+                    state=job.state.value, cached=job.cached)
+        return job, None
 
     def claim(self, worker: str, now: float | None = None) -> Job | None:
         """Atomically move the oldest ready PENDING job to RUNNING.
@@ -251,6 +296,8 @@ class JobStore:
         return c[JobState.PENDING.value] + c[JobState.RUNNING.value]
 
     def close(self) -> None:
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
+        """Close the calling thread's connection (others are untouched)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and getattr(self._local, "pid", -1) == os.getpid():
+            conn.close()
+        self._local.conn = None

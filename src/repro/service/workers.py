@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -34,7 +35,7 @@ from typing import Callable
 
 from ..errors import ServiceError, UnknownJobKindError
 from .cache import ResultCache, payload_key
-from .jobs import Job, JobState
+from .jobs import UNCACHED_KINDS, Job, JobState
 from .store import JobStore
 
 Runner = Callable[[dict, Job], dict]
@@ -166,6 +167,12 @@ def _probe_runner(payload: dict, job: Job) -> dict:
                 f"flaky probe failing attempt {job.attempts}/{fail_times}"
             )
         return {"ok": True, "attempt": job.attempts}
+    if behavior == "hang_once":
+        # Sleeps (only) on the first attempt -- lets recovery tests kill
+        # a supervisor mid-job and watch the retry complete promptly.
+        if job.attempts <= 1:
+            time.sleep(float(payload.get("seconds", 60.0)))
+        return {"ok": True, "attempt": job.attempts}
     raise ServiceError(f"unknown probe behavior {behavior!r}")
 
 
@@ -224,11 +231,17 @@ class _Slot:
 
 @dataclass
 class PoolSummary:
-    """What one :meth:`WorkerPool.run` call did."""
+    """What one :meth:`WorkerPool.run` call did.
+
+    ``fulfilled_from_cache`` counts jobs that were claimed but never
+    launched because their result landed in the cache while they sat in
+    the queue; those jobs are included in ``completed``.
+    """
 
     completed: int = 0
     failed: int = 0
     retried: int = 0
+    fulfilled_from_cache: int = 0
     counts: dict = field(default_factory=dict)
 
 
@@ -247,6 +260,7 @@ class WorkerPool:
             raise ServiceError(f"nworkers must be >= 1, got {nworkers}")
         self.workdir = os.fspath(workdir)
         self.store = JobStore(self.workdir)
+        self.cache = ResultCache(os.path.join(self.workdir, "cache"))
         self.nworkers = nworkers
         self.poll_interval = poll_interval
         self.backoff_base = backoff_base
@@ -316,6 +330,7 @@ class WorkerPool:
         self._slots = live
 
     def _launch(self, job: Job) -> None:
+        self.store.log_event(job.id, "launched", worker=job.worker)
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_child_main,
@@ -331,14 +346,16 @@ class WorkerPool:
     # -- main loop -------------------------------------------------------
 
     def run(self, drain: bool = True, max_seconds: float | None = None,
-            recover: bool = True) -> PoolSummary:
+            recover: bool = True,
+            stop: threading.Event | None = None) -> PoolSummary:
         """Process jobs until the queue drains (or ``max_seconds`` pass).
 
         ``drain=True`` (the default) exits once every job is terminal --
         including waiting out retry backoffs.  ``drain=False`` runs
-        forever (a resident service) until ``max_seconds`` elapses or the
-        process is interrupted; in-flight children are terminated and
-        their jobs requeued/failed on the way out.
+        forever (a resident service) until ``max_seconds`` elapses, the
+        ``stop`` event is set (how an embedding HTTP server shuts its
+        pool down), or the process is interrupted; in-flight children
+        are terminated and their jobs requeued/failed on the way out.
 
         ``recover=True`` requeues jobs found already RUNNING at startup:
         with one supervisor per workdir (the intended deployment) those
@@ -360,11 +377,23 @@ class WorkerPool:
                     )
                     if job is None:
                         break
+                    if job.kind not in UNCACHED_KINDS \
+                            and job.key in self.cache:
+                        # The result landed while the job sat in the
+                        # queue (another submitter's twin completed, or
+                        # the job predates a cache warm-up): record DONE
+                        # without burning a child process on it.
+                        self.store.mark_done(job.id, job.key)
+                        summary.completed += 1
+                        summary.fulfilled_from_cache += 1
+                        continue
                     self._launch(job)
                 if drain and not self._slots and not self.store.outstanding():
                     break
                 if max_seconds is not None \
                         and time.time() - start > max_seconds:
+                    break
+                if stop is not None and stop.is_set():
                     break
                 time.sleep(self.poll_interval)
         finally:

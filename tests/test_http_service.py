@@ -1,0 +1,309 @@
+"""The HTTP front-end: endpoints, error contract, clients, end-to-end.
+
+The acceptance scenario lives in :class:`TestEndToEnd`: a real
+``repro serve`` process (subprocess, own worker pool), a 4-point sweep
+submitted through :class:`AsyncServiceClient`, cached/deduped
+dispositions on resubmission, a cancellation, and results fetched for
+the rest -- all over the socket, with a clean shutdown at the end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, ServiceError, UnknownJobError
+from repro.service import Sweep
+from repro.service.http import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceHTTPServer,
+    WaitTimeout,
+)
+
+SIM_SWEEP = Sweep(
+    kind="sim",
+    axes={"n": [512, 1024], "nb": [64, 128]},
+    base={"p": 2, "q": 2},
+)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """An in-process server with a two-slot pool on an ephemeral port."""
+    with ServiceHTTPServer(tmp_path / "svc", port=0, workers=2,
+                           backoff_base=0.01) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+class TestEndpoints:
+    def test_healthz(self, client, server):
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["workers"] == 2
+        assert health["workdir"] == server.service.workdir
+
+    def test_submit_single_and_poll_result(self, client):
+        receipt = client.submit("probe", {"behavior": "ok"})
+        assert len(receipt["new"]) == 1
+        jid = receipt["new"][0]
+        view = client.wait([jid], timeout=60)[jid]
+        assert view["state"] == "DONE" and view["ready"] is True
+        assert view["result"]["ok"] is True
+
+    def test_submit_sweep_dispositions(self, client):
+        receipt = client.submit_sweep(SIM_SWEEP)
+        assert len(receipt["new"]) == 4
+        # Same sweep again while jobs are pending/running: every point
+        # is deduplicated or already served from cache -- never requeued.
+        again = client.submit_sweep(SIM_SWEEP)
+        assert not again["new"]
+        assert len(again["deduped"]) + len(again["cached"]) == 4
+
+    def test_queue_counts(self, client):
+        client.submit("probe", {"behavior": "ok"})
+        queue = client.queue()
+        assert set(queue["counts"]) == {
+            "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED"
+        }
+        assert queue["outstanding"] >= 0
+
+    def test_job_view_roundtrips_payload(self, client):
+        payload = {"n": 512, "nb": 64, "p": 2, "q": 2}
+        receipt = client.submit("sim", payload)
+        view = client.job(receipt["new"][0])
+        assert view["kind"] == "sim"
+        assert view["payload"] == payload
+
+    def test_cancel_endpoint(self, tmp_path):
+        # A server with no pool: jobs stay PENDING and can be cancelled.
+        with ServiceHTTPServer(tmp_path / "idle", workers=0) as srv:
+            c = ServiceClient(srv.url)
+            jid = c.submit("probe", {"behavior": "ok"})["new"][0]
+            assert c.cancel(jid) is True
+            assert c.job(jid)["state"] == "CANCELLED"
+            # A second cancel is a no-op, not an error.
+            assert c.cancel(jid) is False
+
+    def test_failed_job_reports_error_line(self, client):
+        jid = client.submit("probe", {"behavior": "crash",
+                                      "message": "kaboom"},
+                            max_retries=0)["new"][0]
+        view = client.wait([jid], timeout=60)[jid]
+        assert view["state"] == "FAILED" and view["ready"] is False
+        assert "kaboom" in view["error"]
+        assert "\n" not in view["error"]  # one-line over the wire
+
+
+class TestErrorContract:
+    def test_unknown_kind_is_422(self, client):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            client.submit("frobnicate", {})
+
+    def test_bad_run_config_is_400(self, client):
+        with pytest.raises(ConfigError, match="n must be positive"):
+            client.submit("run", {"n": 0, "nb": 8, "p": 2, "q": 2})
+
+    def test_bad_run_sweep_corner_is_400(self, client):
+        with pytest.raises(ConfigError):
+            client.submit_sweep(Sweep(kind="run",
+                                      axes={"n": [64, -1], "nb": 8,
+                                            "p": 2, "q": 2}))
+
+    def test_unknown_job_id_is_404(self, client):
+        for call in (client.job, client.result, client.cancel):
+            with pytest.raises(UnknownJobError, match="no such job"):
+                call("deadbeef0000")
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(UnknownJobError, match="no such endpoint"):
+            client._request("GET", "/v1/nope")
+
+    def test_malformed_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/jobs", data=b"{not json",
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "error" in body and "\n" not in body["error"]
+
+    def test_submission_without_kind_or_sweep_is_422(self, client):
+        with pytest.raises(ServiceError, match="kind"):
+            client._request("POST", "/v1/jobs", {"payload": {}})
+
+    def test_unreachable_server_is_a_service_error(self):
+        dead = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            dead.healthz()
+
+
+class TestAsyncClient:
+    def test_wait_timeout_raises_with_outstanding_ids(self, tmp_path):
+        # No pool: the job never finishes, so wait() must time out.
+        with ServiceHTTPServer(tmp_path / "idle", workers=0) as srv:
+            async def go():
+                ac = AsyncServiceClient(srv.url, poll_initial=0.01,
+                                        poll_max=0.05,
+                                        rng=random.Random(7))
+                receipt = await ac.submit("probe", {"behavior": "ok"})
+                await ac.wait(receipt["new"], timeout=0.3)
+            with pytest.raises(WaitTimeout, match="1 job"):
+                asyncio.run(go())
+
+    def test_backoff_grows_and_resets_on_progress(self):
+        from repro.service.http.client import _Backoff
+
+        backoff = _Backoff(0.1, 1.0, 2.0, 0.0, random.Random(0))
+        idle = [backoff.next_delay(False) for _ in range(6)]
+        assert idle == pytest.approx([0.2, 0.4, 0.8, 1.0, 1.0, 1.0])
+        assert backoff.next_delay(True) == pytest.approx(0.1)
+
+    def test_jitter_spreads_delays_around_nominal(self):
+        from repro.service.http.client import _Backoff
+
+        backoff = _Backoff(1.0, 8.0, 1.0, 0.5, random.Random(42))
+        delays = [backoff.next_delay(True) for _ in range(200)]
+        assert all(0.5 <= d <= 1.5 for d in delays)
+        assert max(delays) > 1.25 and min(delays) < 0.75  # actually jittered
+
+    def test_gather_many_jobs_concurrently(self, server):
+        async def go():
+            ac = AsyncServiceClient(server.url, poll_initial=0.02,
+                                    rng=random.Random(1))
+            receipts = await asyncio.gather(*[
+                ac.submit("probe", {"behavior": "ok", "tag": i})
+                for i in range(6)
+            ])
+            ids = [r["new"][0] for r in receipts]
+            views = await ac.wait(ids, timeout=60)
+            return views
+        views = asyncio.run(go())
+        assert len(views) == 6
+        assert all(v["state"] == "DONE" for v in views.values())
+
+
+def _start_serve(workdir) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--workdir", str(workdir),
+         "--port", "0", "--workers", "2", "--backoff", "0.01"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+    )
+    line = proc.stdout.readline()
+    url = next(tok for tok in line.split() if tok.startswith("http://"))
+    return proc, url
+
+
+class TestEndToEnd:
+    def test_serve_submit_wait_cancel_shutdown(self, tmp_path):
+        """The acceptance path, over a real socket to a real process."""
+        proc, url = _start_serve(tmp_path / "svc")
+        try:
+            async def scenario():
+                ac = AsyncServiceClient(url, poll_initial=0.02,
+                                        rng=random.Random(3))
+                assert (await ac.healthz())["ok"] is True
+
+                # 1. a 4-point sweep, gathered asynchronously
+                receipt = await ac.submit_sweep(SIM_SWEEP)
+                assert len(receipt["new"]) == 4
+                views = await ac.wait(receipt["job_ids"], timeout=120)
+                assert all(v["state"] == "DONE" for v in views.values())
+                assert all(v["result"]["score_tflops"] > 0
+                           for v in views.values())
+
+                # 2. resubmission: every point served from cache
+                again = await ac.submit_sweep(SIM_SWEEP)
+                assert len(again["cached"]) == 4
+                assert not again["new"] and not again["deduped"]
+
+                # 3. cancel one fresh pending job, keep another
+                held = await ac.submit("probe", {"behavior": "sleep",
+                                                 "seconds": 30.0})
+                kept = await ac.submit("probe", {"behavior": "ok"})
+                # Cancel can race the resident pool's claim; accept
+                # either outcome but the state must be terminal or
+                # observable.
+                await ac.cancel(held["new"][0])
+                kept_views = await ac.wait(kept["new"], timeout=60)
+                assert kept_views[kept["new"][0]]["state"] == "DONE"
+
+                counts = (await ac.queue())["counts"]
+                assert counts["DONE"] >= 9  # 4 ran + 4 cached + 1 kept
+                return True
+
+            assert asyncio.run(scenario()) is True
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "server stopped" in out
+
+    def test_cli_against_remote_server(self, tmp_path, capsys):
+        """submit/status/results/cancel all drive the remote instance."""
+        proc, url = _start_serve(tmp_path / "svc")
+        try:
+            rc = main(["submit", "--url", url, "--kind", "sim", "--sweep",
+                       "-N", "512,1024", "-NB", "64", "-P", "2", "-Q", "2"])
+            out = capsys.readouterr().out
+            assert rc == 0 and "submitted 2 new job(s)" in out
+
+            client = ServiceClient(url)
+            ids = [j["id"] for j in client.status()["jobs"]]
+            client.wait(ids, timeout=120)
+
+            rc = main(["status", "--url", url])
+            out = capsys.readouterr().out
+            assert rc == 0 and "2 done" in out and url in out
+
+            rc = main(["results", "--url", url, "--json"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            results = json.loads(out)
+            assert len(results) == 2
+            assert all(r["score_tflops"] > 0 for r in results.values())
+
+            rc = main(["cancel", "--url", url, "--all"])
+            out = capsys.readouterr().out
+            assert rc == 0 and "nothing to cancel" in out
+
+            rc = main(["status", "--url", url, "nosuchjob"])
+            captured = capsys.readouterr()
+            assert rc == 2
+            assert captured.err.startswith("error:")
+        finally:
+            proc.send_signal(signal.SIGINT)
+            proc.communicate(timeout=30)
+        assert proc.returncode == 0
+
+    def test_queue_survives_server_restart(self, tmp_path):
+        """Jobs submitted to one server are served by the next one."""
+        workdir = tmp_path / "svc"
+        with ServiceHTTPServer(workdir, workers=0) as srv:
+            jid = ServiceClient(srv.url).submit(
+                "sim", {"n": 512, "nb": 64, "p": 2, "q": 2})["new"][0]
+        with ServiceHTTPServer(workdir, workers=2,
+                               backoff_base=0.01) as srv:
+            view = ServiceClient(srv.url).wait([jid], timeout=120)[jid]
+        assert view["state"] == "DONE"
+        assert view["result"]["n"] == 512

@@ -73,6 +73,35 @@ class TestEndToEnd:
         assert "8 cancelled" in capsys.readouterr().out
 
 
+class TestUnknownJobIds:
+    """Unknown ids are bad input: one-line error, exit 2, no traceback."""
+
+    def test_status_on_unknown_id_exits_2(self, workdir, capsys):
+        _submit(workdir, capsys)
+        rc = main(["status", "--workdir", workdir, "nosuchjob"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err == "error: no such job: nosuchjob\n"
+        assert "Traceback" not in captured.err
+
+    def test_results_on_unknown_id_exits_2(self, workdir, capsys):
+        _submit(workdir, capsys)
+        rc = main(["results", "--workdir", workdir, "nosuchjob"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err == "error: no such job: nosuchjob\n"
+        assert "Traceback" not in captured.err
+
+    def test_status_with_known_ids_prints_their_rows(self, workdir, capsys):
+        _submit(workdir, capsys)
+        main(["status", "--workdir", workdir])
+        some_id = capsys.readouterr().out.splitlines()[2].split()[0]
+        rc = main(["status", "--workdir", workdir, some_id])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert some_id in out and "PENDING" in out
+
+
 class TestSubmitValidation:
     def test_multi_value_axis_without_sweep_flag_is_rejected(
             self, workdir, capsys):

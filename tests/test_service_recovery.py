@@ -1,0 +1,102 @@
+"""Crash recovery: a supervisor killed mid-job must not lose the job.
+
+A real worker-pool process (subprocess, SIGKILL -- no chance to clean
+up) is murdered while its child is mid-probe.  The next pool to open
+the workdir must recover the orphaned RUNNING row, retry it exactly
+once, and leave the whole story readable in the JSONL event log.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import JobState, Service
+
+_POOL_SCRIPT = """
+import sys
+from repro.service import WorkerPool
+WorkerPool(sys.argv[1], nworkers=1, backoff_base=0.01).run(
+    drain=False, max_seconds=120)
+"""
+
+
+def _wait_for_event(service: Service, name: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(e["event"] == name for e in service.store.events()):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"no {name!r} event within {timeout}s")
+
+
+@pytest.fixture
+def service(tmp_path):
+    return Service(tmp_path / "svc", backoff_base=0.01)
+
+
+def test_killed_supervisor_orphan_is_recovered_and_retried_once(service):
+    # hang_once: sleeps through attempt 1 (the one we kill), returns ok
+    # on attempt 2 -- so recovery is observable and fast.
+    receipt = service.submit(
+        "probe", {"behavior": "hang_once", "seconds": 45.0}, max_retries=2
+    )
+    jid = receipt.new[0]
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _POOL_SCRIPT, service.workdir], env=env
+    )
+    try:
+        # The pool claims the job and launches the hanging child ...
+        _wait_for_event(service, "launched")
+        assert service.job(jid).state is JobState.RUNNING
+    finally:
+        # ... and dies without any chance to mark or requeue it.
+        proc.kill()
+        proc.wait(timeout=30)
+
+    orphan = service.job(jid)
+    assert orphan.state is JobState.RUNNING  # nobody cleaned up
+    assert orphan.attempts == 1
+
+    # The next pool recovers the orphan and the retry completes.
+    summary = service.run_workers(n=1, max_seconds=60)
+    assert summary.completed == 1
+    job = service.job(jid)
+    assert job.state is JobState.DONE
+    assert job.attempts == 2  # the killed attempt + exactly one retry
+    assert service.result(jid)["attempt"] == 2
+
+    # The whole story is in the event log: exactly one orphan requeue,
+    # exactly two claims (the killed attempt and the retry).
+    events = [e for e in service.store.events() if e["job"] == jid]
+    requeues = [e for e in events if e["event"] == "requeued"]
+    assert len(requeues) == 1
+    assert "orphaned by a dead worker pool" in requeues[0]["error"]
+    assert sum(1 for e in events if e["event"] == "claimed") == 2
+    assert sum(1 for e in events if e["event"] == "done") == 1
+
+
+def test_recovery_does_not_touch_terminal_jobs(service):
+    """Only RUNNING rows are requeued at pool startup."""
+    done = service.submit("probe", {"behavior": "ok"})
+    service.run_workers(n=1, max_seconds=60)
+    cancelled = service.submit("probe", {"behavior": "sleep",
+                                         "seconds": 30.0})
+    service.cancel(cancelled.new)
+
+    before = {jid: service.job(jid).attempts
+              for jid in (done.new[0], cancelled.new[0])}
+    service.run_workers(n=1, max_seconds=60)  # recover=True by default
+    assert service.job(done.new[0]).state is JobState.DONE
+    assert service.job(cancelled.new[0]).state is JobState.CANCELLED
+    for jid, attempts in before.items():
+        assert service.job(jid).attempts == attempts

@@ -99,6 +99,34 @@ class TestTimeouts:
         assert job.attempts == 2
 
 
+class TestClaimTimeCacheFulfilment:
+    def test_queued_job_whose_result_landed_is_not_launched(self, service):
+        """A claimed job with a cached result is marked DONE without
+        burning a child process (closes the submit-vs-complete race)."""
+        from repro.service import Job, new_job_id, payload_key
+
+        payload = {"n": 256, "nb": 32, "p": 2, "q": 2}
+        first = service.submit("sim", payload)
+        service.run_workers(n=1, max_seconds=120)
+        assert service.result(first.new[0]) is not None
+
+        # Force a PENDING twin past the submit-time cache check (as a
+        # racing submitter would have) by adding the row directly.
+        key = payload_key("sim", payload)
+        twin = Job(id=new_job_id(), kind="sim", payload=payload, key=key)
+        service.store.add(twin)
+
+        summary = service.run_workers(n=1, max_seconds=60)
+        assert summary.completed == 1
+        assert summary.fulfilled_from_cache == 1
+        job = service.job(twin.id)
+        assert job.state is JobState.DONE
+        assert service.result(twin.id) is not None
+        launched = [e for e in service.store.events()
+                    if e["event"] == "launched" and e["job"] == twin.id]
+        assert not launched
+
+
 class TestSupervision:
     def test_orphaned_running_jobs_are_recovered(self, service):
         """RUNNING rows from a dead supervisor are requeued on start."""
