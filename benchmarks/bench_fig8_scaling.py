@@ -54,12 +54,12 @@ def _run_sweep(url: str) -> list[_Point]:
         client = AsyncServiceClient(url, poll_initial=0.05, poll_max=1.0,
                                     rng=random.Random(8))
         receipt = await client.submit_sweep(SWEEP)
-        views = await client.wait(receipt["job_ids"], timeout=1800)
+        views = await client.wait(receipt.job_ids, timeout=1800)
         results = []
-        for jid in receipt["job_ids"]:
-            assert views[jid]["state"] == "DONE", \
-                f"scale job {jid} ended {views[jid]['state']}"
-            results.append(views[jid]["result"])
+        for jid in receipt.job_ids:
+            assert views[jid].state == "DONE", \
+                f"scale job {jid} ended {views[jid].state}"
+            results.append(views[jid].result)
         return results
 
     points = [
@@ -130,8 +130,8 @@ def test_fig8_resubmission_served_from_cache(server, points):
     async def resubmit():
         return await AsyncServiceClient(server.url).submit_sweep(SWEEP)
     receipt = asyncio.run(resubmit())
-    assert len(receipt["cached"]) == len(NODE_COUNTS)
-    assert not receipt["new"]
+    assert len(receipt.cached) == len(NODE_COUNTS)
+    assert not receipt.new
     launched_after = sum(
         1 for e in store.events() if e["event"] == "launched"
     )

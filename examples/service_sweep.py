@@ -36,25 +36,25 @@ async def run_example(url: str) -> None:
     client = AsyncServiceClient(url, poll_initial=0.05, poll_max=1.0)
 
     receipt = await client.submit_sweep(SWEEP)
-    print(f"queued {len(receipt['new'])} jobs on {url}")
+    print(f"queued {len(receipt.new)} jobs on {url}")
 
-    views = await client.wait(receipt["job_ids"], timeout=600)
-    states = [v["state"] for v in views.values()]
+    views = await client.wait(receipt.job_ids, timeout=600)
+    states = [v.state for v in views.values()]
     print(f"gathered {states.count('DONE')} completed point(s)\n")
 
     print(f"{'N':>8} {'NB':>5} {'frac':>5} {'TFLOPS':>8} {'hidden%':>8}")
-    for jid in receipt["job_ids"]:
+    for jid in receipt.job_ids:
         job = await client.job(jid)
-        r = views[jid]["result"]
+        r = views[jid].result
         print(f"{r['n']:>8} {r['nb']:>5}"
-              f" {job['payload']['split_fraction']:>5.2f}"
+              f" {job.payload['split_fraction']:>5.2f}"
               f" {r['score_tflops']:>8.1f}"
               f" {100 * r['hidden_time_fraction']:>8.1f}")
 
     # Identical resubmission: served from cache, nothing runs.
     again = await client.submit_sweep(SWEEP)
-    print(f"\nresubmitted: {len(again['cached'])} of "
-          f"{len(again['job_ids'])} points served from cache")
+    print(f"\nresubmitted: {len(again.cached)} of "
+          f"{len(again.job_ids)} points served from cache")
 
 
 def main() -> None:

@@ -13,15 +13,19 @@ Commands:
 Batch service commands (see ``docs/service.md``):
 
 * ``submit``   -- queue one run or a ``--sweep`` parameter grid.
-* ``workers``  -- drain the queue with a multiprocess worker pool.
+* ``workers``  -- drain the queue with a multiprocess worker pool;
+                  with ``--url`` the pool becomes a *remote fleet
+                  member* leasing jobs from a coordinator over HTTP.
 * ``serve``    -- run the JSON-over-HTTP front-end (plus an in-process
                   worker pool) so remote clients share one queue.
-* ``status``   -- job counts and per-job states.
+* ``status``   -- job counts and per-job states (filter/paginate with
+                  ``--state/--kind/--limit/--offset``).
 * ``results``  -- print results of completed jobs.
 * ``cancel``   -- cancel pending jobs.
 
-``submit``/``status``/``results``/``cancel`` accept ``--url`` to operate
-against a remote ``repro serve`` instance instead of a local workdir.
+``submit``/``workers``/``status``/``results``/``cancel`` accept
+``--url`` to operate against a remote ``repro serve`` instance instead
+of a local workdir.
 """
 
 from __future__ import annotations
@@ -295,30 +299,46 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         from .service import Service
 
-        local = Service(args.workdir).submit_sweep(
+        receipt = Service(args.workdir).submit_sweep(
             sweep, timeout=args.timeout, max_retries=args.retries
         )
-        receipt = {"new": local.new, "cached": local.cached,
-                   "deduped": local.deduped}
-    print(f"submitted {len(receipt['new'])} new job(s), "
-          f"{len(receipt['cached'])} served from cache, "
-          f"{len(receipt['deduped'])} deduplicated against the queue")
-    for jid in receipt["new"]:
+    print(f"submitted {len(receipt.new)} new job(s), "
+          f"{len(receipt.cached)} served from cache, "
+          f"{len(receipt.deduped)} deduplicated against the queue")
+    for jid in receipt.new:
         print(f"  queued  {jid}")
-    for jid in receipt["cached"]:
+    for jid in receipt.cached:
         print(f"  cached  {jid}")
-    for jid in receipt["deduped"]:
+    for jid in receipt.deduped:
         print(f"  dup-of  {jid}")
     return 0
 
 
 def _cmd_workers(args: argparse.Namespace) -> int:
+    from .service.workers import WorkerOptions
+
+    options = WorkerOptions(
+        n=args.n, drain=not args.no_drain, max_seconds=args.max_seconds,
+        backoff_base=args.backoff, lease_ttl=args.ttl,
+    )
+    if getattr(args, "url", None):
+        from .service.fleet import RemoteWorkerPool
+
+        pool = RemoteWorkerPool(args.url, options=options,
+                                worker=args.name or None)
+        s = pool.run()
+        print(f"fleet worker {pool.worker} finished: {s.claimed} claimed, "
+              f"{s.completed} completed, {s.failed} failed, {s.lost} lost")
+        c = s.counts
+        if c:
+            print(f"queue: {c['PENDING']} pending, {c['RUNNING']} running, "
+                  f"{c['DONE']} done, {c['FAILED']} failed, "
+                  f"{c['CANCELLED']} cancelled")
+        return 0
     from .service import Service
 
     service = Service(args.workdir, backoff_base=args.backoff)
-    summary = service.run_workers(
-        n=args.n, drain=not args.no_drain, max_seconds=args.max_seconds
-    )
+    summary = service.run_workers(options)
     c = summary.counts
     print(f"pool finished: {summary.completed} completed, "
           f"{summary.failed} failed, {summary.retried} retried")
@@ -328,43 +348,42 @@ def _cmd_workers(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_job_rows(jobs: list[dict]) -> None:
+def _print_job_rows(jobs) -> None:
+    """Render :class:`~repro.service.views.JobView` rows as a table."""
     print(f"{'id':<14}{'kind':<8}{'state':<11}{'tries':<7}note")
     for j in jobs:
-        note = "cached" if j["cached"] else j["error"][:60]
-        print(f"{j['id']:<14}{j['kind']:<8}{j['state']:<11}"
-              f"{j['attempts']:<7}{note}")
+        note = "cached" if j.cached else j.error[:60]
+        print(f"{j.id:<14}{j.kind:<8}{j.state:<11}{j.attempts:<7}{note}")
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
+    filters = dict(state=args.state or None, kind=args.kind or None,
+                   limit=args.limit, offset=args.offset)
     client = _remote_client(args)
     if client is not None:
         if args.ids:
             _print_job_rows([client.job(jid) for jid in args.ids])
             return 0
-        status = client.status()
-        where = f"{args.url} ({status['workdir']})"
+        page = client.status(**filters)
+        where = f"{args.url} ({page.workdir})"
     else:
         from .service import Service
 
         service = Service(args.workdir)
         if args.ids:
-            jobs = [service.job(jid) for jid in args.ids]
-            _print_job_rows([
-                {"id": j.id, "kind": j.kind, "state": j.state.value,
-                 "attempts": j.attempts, "cached": j.cached,
-                 "error": j.error.splitlines()[-1] if j.error else ""}
-                for j in jobs
-            ])
+            _print_job_rows([service.job_view(jid) for jid in args.ids])
             return 0
-        status = service.status()
-        where = f"workdir {status['workdir']}"
-    c = status["counts"]
+        page = service.status(**filters)
+        where = f"workdir {page.workdir}"
+    c = page.counts
     print(f"{where}: "
           + ", ".join(f"{c[s]} {s.lower()}" for s in
                       ("PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED")))
-    if status["jobs"]:
-        _print_job_rows(status["jobs"])
+    if page.jobs:
+        _print_job_rows(page.jobs)
+    if len(page.jobs) < page.total:
+        print(f"(showing {len(page.jobs)} of {page.total} matching job(s); "
+              f"offset {page.offset})")
     return 0
 
 
@@ -373,16 +392,15 @@ def _cmd_results(args: argparse.Namespace) -> int:
 
     client = _remote_client(args)
     if client is not None:
-        ids = args.ids or [
-            j["id"] for j in client.status()["jobs"] if j["state"] == "DONE"
-        ]
-        results = {jid: client.result(jid)["result"] for jid in ids}
+        ids = args.ids or [j.id for j in client.status(state="DONE").jobs]
+        views = {jid: client.result(jid) for jid in ids}
     else:
         from .service import JobState, Service
 
         service = Service(args.workdir)
         ids = args.ids or [j.id for j in service.store.list(JobState.DONE)]
-        results = service.results(ids)
+        views = service.results(ids)
+    results = {jid: view.result for jid, view in views.items()}
     if args.json:
         print(_json.dumps(results, indent=2, sort_keys=True))
         return 0
@@ -407,8 +425,7 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     if client is not None:
         ids = args.ids
         if args.all:
-            ids = [j["id"] for j in client.status()["jobs"]
-                   if j["state"] == "PENDING"]
+            ids = [j.id for j in client.status(state="PENDING").jobs]
         if not ids:
             print("nothing to cancel")
             return 0
@@ -562,7 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_work = sub.add_parser(
         "workers", help="drain queued jobs with a multiprocess worker pool"
     )
-    _add_service_args(p_work)
+    _add_service_args(p_work, remote=True)
     p_work.add_argument("-n", type=int, default=2, help="worker slots")
     p_work.add_argument("--max-seconds", type=float, default=None,
                         help="stop after this many seconds even if not drained")
@@ -570,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="retry backoff base (seconds)")
     p_work.add_argument("--no-drain", action="store_true",
                         help="keep serving instead of exiting when drained")
+    p_work.add_argument("--ttl", type=float, default=30.0,
+                        help="lease TTL in seconds (remote --url mode)")
+    p_work.add_argument("--name", default="",
+                        help="worker name reported to the coordinator "
+                             "(default: hostname-pid)")
     p_work.set_defaults(fn=_cmd_workers)
 
     p_serve = sub.add_parser(
@@ -593,6 +615,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_args(p_stat, remote=True)
     p_stat.add_argument("ids", nargs="*",
                         help="job ids to show (default: every job)")
+    p_stat.add_argument("--state", default="",
+                        help="only show jobs in this state (e.g. DONE)")
+    p_stat.add_argument("--kind", default="",
+                        help="only show jobs of this kind (e.g. sim)")
+    p_stat.add_argument("--limit", type=int, default=None,
+                        help="show at most this many jobs")
+    p_stat.add_argument("--offset", type=int, default=0,
+                        help="skip this many jobs (with --limit: paging)")
     p_stat.set_defaults(fn=_cmd_status)
 
     p_res = sub.add_parser("results", help="print results of completed jobs")

@@ -9,11 +9,23 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all pyroHPL errors."""
+    """Base class for all pyroHPL errors.
+
+    Errors that cross the service's HTTP boundary carry two class
+    attributes consumed by the v1 wire contract: ``code``, a stable
+    machine-readable identifier clients can switch on, and
+    ``http_status``, the status the server maps the error to.
+    """
+
+    code = "internal"
+    http_status = 500
 
 
 class ConfigError(ReproError, ValueError):
     """An :class:`~repro.config.HPLConfig` (or machine spec) is invalid."""
+
+    code = "bad_config"
+    http_status = 400
 
 
 class CommError(ReproError):
@@ -68,10 +80,51 @@ class ScheduleError(ReproError):
 class ServiceError(ReproError):
     """Base class for errors raised by the batch job service."""
 
+    code = "service_error"
+    http_status = 422
+
 
 class UnknownJobError(ServiceError):
     """A job id was not found in the service's store."""
 
+    code = "unknown_job"
+    http_status = 404
+
 
 class UnknownJobKindError(ServiceError):
     """A job names a kind with no registered runner."""
+
+    code = "unknown_kind"
+    http_status = 422
+
+
+class MalformedRequestError(ServiceError):
+    """A request body is not JSON, not an object, or missing fields."""
+
+    code = "malformed"
+    http_status = 400
+
+
+class UnknownRouteError(ServiceError):
+    """A request addressed an endpoint the v1 API does not define."""
+
+    code = "unknown_route"
+    http_status = 404
+
+
+class LeaseConflictError(ServiceError):
+    """A lease operation named a job held by a different live lease."""
+
+    code = "conflict"
+    http_status = 409
+
+
+class LeaseExpiredError(LeaseConflictError):
+    """The named lease no longer exists (it expired or never was).
+
+    A worker reporting a result under an expired lease must drop the
+    job: the store has already requeued it for someone else.
+    """
+
+    code = "lease_expired"
+    http_status = 409

@@ -21,20 +21,29 @@ from __future__ import annotations
 
 from .api import Service, SubmitReceipt
 from .cache import ResultCache, payload_key
-from .jobs import Job, JobState, new_job_id
+from .fleet import FleetSummary, RemoteWorkerPool
+from .jobs import Job, JobState, Lease, new_job_id
 from .store import JobStore
 from .sweep import Sweep, expand_grid
-from .workers import PoolSummary, WorkerPool, register_runner
+from .views import JobView, QueuePage, ResultView
+from .workers import PoolSummary, WorkerOptions, WorkerPool, register_runner
 
 __all__ = [
+    "FleetSummary",
     "Job",
     "JobState",
     "JobStore",
+    "JobView",
+    "Lease",
     "PoolSummary",
+    "QueuePage",
+    "RemoteWorkerPool",
     "ResultCache",
+    "ResultView",
     "Service",
     "SubmitReceipt",
     "Sweep",
+    "WorkerOptions",
     "WorkerPool",
     "expand_grid",
     "new_job_id",

@@ -19,19 +19,27 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from ..errors import ServiceError
+from ..errors import MalformedRequestError, UnknownJobKindError
 from .cache import ResultCache, payload_key
-from .jobs import UNCACHED_KINDS, Job, JobState, new_job_id
+from .jobs import UNCACHED_KINDS, Job, JobState, Lease, new_job_id
 from .store import JobStore
 from .sweep import Sweep
-from .workers import RUNNERS, PoolSummary, WorkerPool
+from .views import JobView, QueuePage, ResultView
+from .workers import RUNNERS, PoolSummary, WorkerOptions, WorkerPool
 
 DEFAULT_WORKDIR = ".repro-service"
 
 
 @dataclass
 class SubmitReceipt:
-    """What one submission call did, job ids grouped by disposition."""
+    """What one submission call did, job ids grouped by disposition.
+
+    This is *the* submit response shape everywhere: the facade returns
+    it, the HTTP server serializes :meth:`to_dict` as the
+    ``{"receipt": {...}}`` envelope, and the clients rebuild it with
+    :meth:`from_dict` so remote and local submission hand the caller
+    the identical object.
+    """
 
     new: list[str] = field(default_factory=list)
     cached: list[str] = field(default_factory=list)
@@ -45,6 +53,22 @@ class SubmitReceipt:
         self.new += other.new
         self.cached += other.cached
         self.deduped += other.deduped
+
+    def to_dict(self) -> dict:
+        return {
+            "new": list(self.new),
+            "cached": list(self.cached),
+            "deduped": list(self.deduped),
+            "job_ids": self.job_ids,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SubmitReceipt":
+        return cls(
+            new=list(data.get("new", ())),
+            cached=list(data.get("cached", ())),
+            deduped=list(data.get("deduped", ())),
+        )
 
 
 class Service:
@@ -63,12 +87,14 @@ class Service:
                max_retries: int = 2) -> SubmitReceipt:
         """Submit one job; serve from cache / dedupe when possible."""
         if kind not in RUNNERS:
-            raise ServiceError(
+            raise UnknownJobKindError(
                 f"unknown job kind {kind!r}"
                 f" (known: {', '.join(sorted(RUNNERS))})"
             )
         if max_retries < 0:
-            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+            raise MalformedRequestError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
         key = payload_key(kind, payload)
         receipt = SubmitReceipt()
         job = Job(
@@ -110,24 +136,46 @@ class Service:
 
     # -- queries ---------------------------------------------------------
 
-    def status(self) -> dict:
-        """Counts per state plus a per-job summary list."""
-        jobs = self.store.list()
-        return {
-            "workdir": self.workdir,
-            "counts": self.store.counts(),
-            "jobs": [
-                {
-                    "id": j.id, "kind": j.kind, "state": j.state.value,
-                    "attempts": j.attempts, "cached": j.cached,
-                    "error": j.error.splitlines()[-1] if j.error else "",
-                }
-                for j in jobs
-            ],
-        }
+    def status(self, state: str | None = None, kind: str | None = None,
+               limit: int | None = None, offset: int = 0) -> QueuePage:
+        """One filtered, windowed page of the queue (a :class:`QueuePage`).
+
+        ``state`` filters on lifecycle state (``"DONE"`` etc.), ``kind``
+        on job kind; ``limit``/``offset`` window the matches, oldest
+        first.  ``counts`` and ``outstanding`` on the page always cover
+        the whole queue.  Expired leases are swept first so the page
+        never shows a dead worker's jobs as RUNNING.
+        """
+        if state is not None:
+            try:
+                state = JobState(state).value
+            except ValueError:
+                raise MalformedRequestError(
+                    f"unknown state {state!r} (one of:"
+                    f" {', '.join(s.value for s in JobState)})"
+                ) from None
+        if limit is not None and limit < 0:
+            raise MalformedRequestError(f"limit must be >= 0, got {limit}")
+        if offset < 0:
+            raise MalformedRequestError(f"offset must be >= 0, got {offset}")
+        self.store.expire_leases()
+        jobs = self.store.list(state=state, kind=kind, limit=limit,
+                               offset=offset)
+        return QueuePage(
+            jobs=tuple(JobView.from_job(j) for j in jobs),
+            counts=self.store.counts(),
+            total=self.store.count_matching(state=state, kind=kind),
+            outstanding=self.store.outstanding(),
+            limit=limit, offset=offset, state=state, kind=kind,
+            workdir=self.workdir,
+        )
 
     def job(self, job_id: str) -> Job:
         return self.store.get(job_id)
+
+    def job_view(self, job_id: str) -> JobView:
+        """The :class:`JobView` projection of one job."""
+        return JobView.from_job(self.store.get(job_id))
 
     def result(self, job_id: str) -> dict | None:
         """The result dict of a DONE job (None while not DONE)."""
@@ -137,11 +185,79 @@ class Service:
         record = self.cache.get(job.result_key)
         return record["result"] if record else None
 
-    def results(self, job_ids=None) -> dict[str, dict | None]:
-        """Map of job id -> result (None for jobs without one yet)."""
+    def result_view(self, job_id: str) -> ResultView:
+        """The full :class:`ResultView` envelope for one job."""
+        job = self.store.get(job_id)
+        result = None
+        if job.state is JobState.DONE:
+            record = self.cache.get(job.result_key)
+            result = record["result"] if record else None
+        return ResultView(job=JobView.from_job(job),
+                          ready=result is not None, result=result)
+
+    def results(self, job_ids=None) -> dict[str, ResultView]:
+        """Map of job id -> :class:`ResultView` (``ready=False`` rows
+        included, so callers see exactly which jobs still owe results).
+        """
         if job_ids is None:
             job_ids = [j.id for j in self.store.list()]
-        return {jid: self.result(jid) for jid in job_ids}
+        return {jid: self.result_view(jid) for jid in job_ids}
+
+    # -- leases (remote workers) -----------------------------------------
+
+    def claim_jobs(self, worker: str, n: int = 1,
+                   ttl: float = 30.0) -> tuple[Lease | None, list[Job]]:
+        """Lease up to ``n`` ready jobs to a named remote worker.
+
+        Jobs whose result is already cached are completed on the spot
+        (never shipped), exactly like the local pool's claim-time
+        fulfilment, so a remote fleet shares the cache's savings.
+        """
+        if n < 1:
+            raise MalformedRequestError(f"n must be >= 1, got {n}")
+        if ttl <= 0:
+            raise MalformedRequestError(f"ttl must be > 0, got {ttl}")
+        if not worker:
+            raise MalformedRequestError("worker name must be non-empty")
+        lease, jobs = self.store.claim_batch(worker, limit=n, ttl=ttl)
+        shipped = []
+        for job in jobs:
+            if job.kind not in UNCACHED_KINDS and job.key in self.cache:
+                self.store.complete_leased(job.id, job.lease_id, job.key)
+                continue
+            self.store.log_event(job.id, "launched", worker=worker,
+                                 lease=job.lease_id)
+            shipped.append(job)
+        return (lease if shipped else None), shipped
+
+    def heartbeat(self, lease_id: str, ttl: float = 30.0) -> Lease:
+        """Extend a live lease; raises ``LeaseExpiredError`` if lapsed."""
+        if ttl <= 0:
+            raise MalformedRequestError(f"ttl must be > 0, got {ttl}")
+        return self.store.heartbeat_lease(lease_id, ttl=ttl)
+
+    def complete_job(self, job_id: str, lease_id: str, result: dict) -> Job:
+        """Accept a leased job's result: cache it, then mark DONE.
+
+        The cache write is content-addressed and idempotent, so it is
+        safe even when the lease guard then rejects a late upload.
+        """
+        if not isinstance(result, dict):
+            raise MalformedRequestError(
+                f"result must be a JSON object,"
+                f" got {type(result).__name__}"
+            )
+        job = self.store.get(job_id)
+        key = payload_key(job.kind, job.payload)
+        self.cache.put(key, job.kind, job.payload, result)
+        return self.store.complete_leased(job_id, lease_id, key)
+
+    def fail_job(self, job_id: str, lease_id: str, error: str) -> Job:
+        """Record a leased attempt's failure (bounded retry applies)."""
+        return self.store.fail_leased(
+            job_id, lease_id, str(error),
+            backoff_base=self.backoff_base,
+        )
 
     # -- control ---------------------------------------------------------
 
@@ -149,12 +265,18 @@ class Service:
         """Cancel the given PENDING jobs; returns the ids cancelled."""
         return [jid for jid in job_ids if self.store.cancel(jid)]
 
-    def run_workers(self, n: int = 2, drain: bool = True,
-                    max_seconds: float | None = None,
-                    poll_interval: float = 0.02) -> PoolSummary:
-        """Drain the queue with an ``n``-slot worker pool (blocking)."""
-        pool = WorkerPool(
-            self.workdir, nworkers=n, poll_interval=poll_interval,
-            backoff_base=self.backoff_base,
-        )
-        return pool.run(drain=drain, max_seconds=max_seconds)
+    def run_workers(self, options: WorkerOptions | None = None,
+                    **overrides) -> PoolSummary:
+        """Drain the queue with a local worker pool (blocking).
+
+        Accepts a :class:`WorkerOptions` bundle; bare keyword overrides
+        (``run_workers(n=4, max_seconds=60)``) are folded into it, so
+        the historical call shape keeps working.
+        """
+        if options is None:
+            options = WorkerOptions(backoff_base=self.backoff_base)
+        if overrides:
+            options = options.replace(**overrides)
+        pool = WorkerPool.from_options(self.workdir, options)
+        return pool.run(drain=options.drain,
+                        max_seconds=options.max_seconds)

@@ -1,0 +1,321 @@
+"""Remote worker fleet: drain a coordinator's queue over HTTP.
+
+:class:`RemoteWorkerPool` is the networked sibling of
+:class:`~repro.service.workers.WorkerPool`: it runs the same
+:data:`~repro.service.workers.RUNNERS` in local child processes (same
+crash isolation, same per-job timeout), but instead of sharing the
+coordinator's filesystem it *leases* jobs over the v1 HTTP API --
+``POST /v1/leases`` claims a batch with a TTL,
+``POST /v1/leases/{id}/heartbeat`` keeps it alive while children run,
+and ``POST /v1/jobs/{id}/complete|fail`` uploads each outcome.  N hosts
+each running ``repro workers --url http://coordinator:8400`` drain one
+queue and fill one content-addressed result cache, which is how a sweep
+like the paper's Fig. 8 stops being bounded by a single machine.
+
+Failure model: if this process dies (or the network partitions), its
+heartbeats stop, the lease lapses, and the coordinator requeues the
+jobs exactly once -- the mirror of the local pool's orphan recovery.  A
+report that loses the race against lease expiry gets a 409
+``lease_expired`` and the job is counted ``lost`` here, never recorded
+twice there.  Transient HTTP failures are retried with exponential
+backoff before an attempt is given up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import socket
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from ..errors import LeaseConflictError, ServiceError, UnknownJobError
+from .http.client import ServiceClient, _Backoff
+from .jobs import Job
+from .workers import WorkerOptions, runner_for
+
+
+def _remote_child_main(job: Job, conn) -> None:
+    """Run one leased job in a child; ship the result through the pipe.
+
+    Unlike the local pool's child, the result dict itself crosses the
+    pipe (there is no shared cache directory to write into); the
+    supervisor uploads it to the coordinator, which owns the cache.
+    """
+    try:
+        result = runner_for(job.kind)(job.payload, job)
+        conn.send(("ok", result))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Slot:
+    """One in-flight leased job: process, pipe, deadline, owning lease."""
+
+    job: Job
+    process: multiprocessing.Process
+    conn: object
+    deadline: float  # 0 = no timeout
+    lease_id: str
+
+
+@dataclass
+class FleetSummary:
+    """What one :meth:`RemoteWorkerPool.run` call did.
+
+    ``lost`` counts attempts whose report the coordinator rejected with
+    ``lease_expired``/``conflict`` (it had already requeued the job) or
+    that could not be reported at all -- never double-recorded work.
+    """
+
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    lost: int = 0
+    counts: dict = field(default_factory=dict)
+
+
+def default_worker_name() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class RemoteWorkerPool:
+    """Lease-driven worker pool for one coordinator URL.
+
+    ``options`` is the same :class:`WorkerOptions` bundle the local pool
+    takes; ``options.lease_ttl`` sets the claim TTL (heartbeats fire at
+    half-TTL while any child of that lease is still running).
+    """
+
+    def __init__(self, url: str, options: WorkerOptions | None = None,
+                 worker: str | None = None,
+                 client: ServiceClient | None = None) -> None:
+        self.options = options or WorkerOptions()
+        if self.options.n < 1:
+            raise ServiceError(
+                f"nworkers must be >= 1, got {self.options.n}"
+            )
+        self.client = client or ServiceClient(url)
+        self.worker = worker or default_worker_name()
+        self._slots: list[_Slot] = []
+        self._leases: dict[str, float] = {}  # lease id -> expiry time
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+
+    # -- HTTP with retry -------------------------------------------------
+
+    def _with_retries(self, fn, *args, attempts: int = 4, **kwargs):
+        """Call the coordinator, retrying transient transport failures.
+
+        Lease/job-state rejections (``lease_expired``, ``conflict``,
+        ``unknown_job``) are *not* transient and re-raise immediately;
+        anything else service-shaped is retried with exponential
+        backoff and then re-raised.
+        """
+        delay = 0.1
+        for attempt in range(attempts):
+            try:
+                return fn(*args, **kwargs)
+            except (LeaseConflictError, UnknownJobError):
+                raise
+            except ServiceError:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+
+    # -- slot management -------------------------------------------------
+
+    def _launch(self, job: Job, lease_id: str) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_remote_child_main,
+            args=(job, child_conn),
+            name=f"{self.worker}-{job.id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = time.time() + job.timeout if job.timeout > 0 else 0.0
+        self._slots.append(_Slot(job, proc, parent_conn, deadline,
+                                 lease_id))
+
+    def _report(self, slot: _Slot, summary: FleetSummary,
+                error: str | None, result: dict | None) -> None:
+        try:
+            if error is None and result is not None:
+                self._with_retries(
+                    self.client.complete, slot.job.id, slot.lease_id,
+                    result,
+                )
+                summary.completed += 1
+            else:
+                self._with_retries(
+                    self.client.fail, slot.job.id, slot.lease_id,
+                    error or "worker child died without reporting",
+                )
+                summary.failed += 1
+        except (LeaseConflictError, UnknownJobError, ServiceError):
+            # The coordinator refused the report (lease lapsed, job
+            # requeued/completed elsewhere) or stayed unreachable: the
+            # lease-expiry sweep owns the job now.  Never retried here,
+            # so the job cannot be recorded twice.
+            summary.lost += 1
+
+    def _reap(self, summary: FleetSummary) -> None:
+        now = time.time()
+        live: list[_Slot] = []
+        for slot in self._slots:
+            if slot.process.is_alive():
+                if slot.deadline and now >= slot.deadline:
+                    slot.process.terminate()
+                    slot.process.join(timeout=5.0)
+                    if slot.process.is_alive():  # pragma: no cover
+                        slot.process.kill()
+                        slot.process.join()
+                    slot.conn.close()
+                    self._report(
+                        slot, summary,
+                        f"timeout: exceeded {slot.job.timeout:.3g}s", None,
+                    )
+                else:
+                    live.append(slot)
+                continue
+            slot.process.join()
+            outcome: tuple | None = None
+            if slot.conn.poll():
+                try:
+                    outcome = slot.conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+            slot.conn.close()
+            if outcome is not None and outcome[0] == "ok":
+                self._report(slot, summary, None, outcome[1])
+            elif outcome is not None:
+                self._report(slot, summary, outcome[1], None)
+            else:
+                self._report(
+                    slot, summary,
+                    "worker child crashed"
+                    f" (exit code {slot.process.exitcode})", None,
+                )
+        self._slots = live
+        self._leases = {
+            lid: exp for lid, exp in self._leases.items()
+            if any(s.lease_id == lid for s in self._slots)
+        }
+
+    def _heartbeat(self) -> None:
+        """Extend every lease that still has children, at half-TTL."""
+        now = time.time()
+        ttl = self.options.lease_ttl
+        for lid, expires in list(self._leases.items()):
+            if now < expires - ttl / 2.0:
+                continue
+            try:
+                lease = self._with_retries(
+                    self.client.heartbeat, lid, ttl=ttl, attempts=2,
+                )
+                self._leases[lid] = lease.expires
+            except (LeaseConflictError, ServiceError):
+                # Lease gone: the coordinator requeued our jobs.  Stop
+                # burning cores on work that now belongs to someone else.
+                self._leases.pop(lid, None)
+                for slot in self._slots:
+                    if slot.lease_id == lid and slot.process.is_alive():
+                        slot.process.terminate()
+
+    def _claim(self, summary: FleetSummary) -> bool:
+        free = self.options.n - len(self._slots)
+        if free < 1:
+            return False
+        lease, jobs = self._with_retries(
+            self.client.claim, worker=self.worker, n=free,
+            ttl=self.options.lease_ttl,
+        )
+        if lease is None or not jobs:
+            return False
+        self._leases[lease.id] = lease.expires
+        for job in jobs:
+            summary.claimed += 1
+            self._launch(job, lease.id)
+        return True
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self, max_seconds: float | None = None) -> FleetSummary:
+        """Lease and execute jobs until the coordinator's queue drains.
+
+        With ``options.drain`` (the default) the pool exits once the
+        coordinator reports zero outstanding jobs -- which waits out
+        other workers' leases too, so a fleet member survives to pick
+        up a dead sibling's requeued jobs.  ``options.drain=False``
+        polls forever (a resident worker host) until ``max_seconds``
+        (or ``options.max_seconds``) elapses or the process is
+        interrupted; children are terminated and their attempts failed
+        back to the coordinator on the way out, so the jobs requeue
+        immediately instead of waiting out the lease.
+        """
+        options = self.options
+        max_seconds = max_seconds if max_seconds is not None \
+            else options.max_seconds
+        summary = FleetSummary()
+        start = time.time()
+        # The idle sleep must never outlast the heartbeat window: cap it
+        # at a quarter TTL so a lease is always renewed before half-TTL
+        # sleep drift can let it lapse under a healthy worker.
+        idle = _Backoff(max(options.poll_interval, 0.01),
+                        min(2.0, options.lease_ttl / 4.0), 2.0, 0.1,
+                        random.Random())
+        try:
+            while True:
+                self._reap(summary)
+                self._heartbeat()
+                claimed = False
+                try:
+                    claimed = self._claim(summary)
+                except (LeaseConflictError, UnknownJobError,
+                        ServiceError):
+                    pass  # coordinator briefly unreachable; keep polling
+                if options.drain and not self._slots and not claimed:
+                    try:
+                        outstanding = self.client.queue(limit=0).outstanding
+                    except ServiceError:
+                        outstanding = -1
+                    if outstanding == 0:
+                        break
+                if max_seconds is not None \
+                        and time.time() - start > max_seconds:
+                    break
+                time.sleep(idle.next_delay(progressed=claimed))
+        finally:
+            self._shutdown(summary)
+        try:
+            summary.counts = dict(self.client.queue(limit=0).counts)
+        except ServiceError:
+            pass  # summary still useful without final queue counts
+        return summary
+
+    def _shutdown(self, summary: FleetSummary) -> None:
+        for slot in self._slots:
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+                if slot.process.is_alive():  # pragma: no cover
+                    slot.process.kill()
+                    slot.process.join()
+            slot.conn.close()
+            self._report(slot, summary, "remote worker pool shut down",
+                         None)
+        self._slots = []
+        self._leases = {}

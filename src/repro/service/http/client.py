@@ -2,11 +2,21 @@
 
 :class:`ServiceClient` is a thin blocking wrapper over
 ``urllib.request`` that mirrors the :class:`~repro.service.api.Service`
-facade (submit / submit_sweep / job / result / cancel / queue) and maps
-the server's error contract back onto the library's exceptions:
-**400** -> :class:`~repro.errors.ConfigError`, **404** ->
-:class:`~repro.errors.UnknownJobError`, **422** (and anything else) ->
-:class:`~repro.errors.ServiceError`.
+facade and returns the *same typed objects* local callers get:
+``submit``/``submit_sweep`` a :class:`~repro.service.api.SubmitReceipt`,
+``job`` a :class:`~repro.service.views.JobView`, ``status``/``queue`` a
+:class:`~repro.service.views.QueuePage`, ``result`` a
+:class:`~repro.service.views.ResultView`.  The lease protocol the remote
+fleet speaks (``claim`` / ``heartbeat`` / ``complete`` / ``fail``) is
+exposed the same way.
+
+Errors come back as the library's own exception types: the server puts a
+stable machine-readable ``code`` in every error body
+(``{"error": {"code", "message"}}``) and the client re-raises the
+matching :class:`~repro.errors.ReproError` subclass -- ``bad_config`` ->
+:class:`ConfigError`, ``unknown_job`` -> :class:`UnknownJobError`,
+``lease_expired`` -> :class:`LeaseExpiredError`, and so on -- falling
+back to the HTTP status class when a body carries no code.
 
 :class:`AsyncServiceClient` layers asyncio on top for the batch shape
 the paper's experiments have (submit a grid, gather the points): every
@@ -26,15 +36,39 @@ import json
 import random
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
-from ...errors import ConfigError, ServiceError, UnknownJobError
-from ..jobs import JobState
+from ...errors import (
+    ConfigError,
+    LeaseConflictError,
+    LeaseExpiredError,
+    MalformedRequestError,
+    ServiceError,
+    UnknownJobError,
+    UnknownJobKindError,
+    UnknownRouteError,
+)
+from ..api import SubmitReceipt
+from ..jobs import Job, JobState, Lease
 from ..sweep import Sweep
+from ..views import JobView, QueuePage, ResultView
 
+#: ``code`` in an error body -> the exception class the client raises.
+ERRORS_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        ConfigError, MalformedRequestError, UnknownJobError,
+        UnknownRouteError, UnknownJobKindError, LeaseConflictError,
+        LeaseExpiredError, ServiceError,
+    )
+}
+
+# Fallback for bodies without a code (non-repro proxies, old servers).
 _ERROR_BY_STATUS = {
     400: ConfigError,
     404: UnknownJobError,
+    409: LeaseConflictError,
     422: ServiceError,
 }
 
@@ -88,6 +122,12 @@ def _sweep_spec(sweep) -> dict:
     )
 
 
+def _query(**params) -> str:
+    """Encode non-None params as a query string ('' when all default)."""
+    live = {k: v for k, v in params.items() if v is not None}
+    return "?" + urllib.parse.urlencode(live) if live else ""
+
+
 class ServiceClient:
     """Blocking JSON-over-HTTP client for one service URL."""
 
@@ -98,6 +138,20 @@ class ServiceClient:
         self.timeout = timeout
 
     # -- transport -------------------------------------------------------
+
+    def _raise_for(self, status: int, body: dict, path: str) -> None:
+        error = body.get("error")
+        if isinstance(error, dict):
+            cls = ERRORS_BY_CODE.get(
+                error.get("code"),
+                _ERROR_BY_STATUS.get(status, ServiceError),
+            )
+            message = error.get("message") or f"HTTP {status}"
+        else:
+            cls = _ERROR_BY_STATUS.get(status, ServiceError)
+            message = error if isinstance(error, str) and error \
+                else f"HTTP {status} from {self.base_url}{path}"
+        raise cls(message) from None
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
@@ -110,12 +164,11 @@ class ServiceClient:
                 return json.loads(resp.read() or b"{}")
         except urllib.error.HTTPError as exc:
             try:
-                message = json.loads(exc.read() or b"{}").get("error", "")
+                payload = json.loads(exc.read() or b"{}")
             except (json.JSONDecodeError, OSError):
-                message = ""
-            message = message or f"HTTP {exc.code} from {self.base_url}{path}"
-            cls = _ERROR_BY_STATUS.get(exc.code, ServiceError)
-            raise cls(message) from None
+                payload = {}
+            self._raise_for(exc.code, payload if isinstance(payload, dict)
+                            else {}, path)
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: {exc.reason}"
@@ -126,36 +179,47 @@ class ServiceClient:
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")
 
-    def queue(self) -> dict:
-        """Counts by state plus the outstanding (non-terminal) total."""
-        return self._request("GET", "/v1/queue")
+    def status(self, state: str | None = None, kind: str | None = None,
+               limit: int | None = None, offset: int | None = None
+               ) -> QueuePage:
+        """One filtered, windowed :class:`QueuePage` of the queue."""
+        return QueuePage.from_dict(self._request(
+            "GET",
+            "/v1/queue" + _query(state=state, kind=kind, limit=limit,
+                                 offset=offset),
+        ))
 
-    def status(self) -> dict:
-        """Full service status: workdir, counts, per-job summary rows."""
-        return self._request("GET", "/v1/jobs")
+    #: ``queue`` and ``status`` are the same page; both names kept
+    #: because local callers say ``service.status()`` and operational
+    #: scripts say "check the queue".
+    queue = status
 
     def submit(self, kind: str, payload: dict, timeout: float = 0.0,
-               max_retries: int = 2) -> dict:
-        """Submit one job; returns the receipt's disposition lists."""
-        return self._request("POST", "/v1/jobs", {
+               max_retries: int = 2) -> SubmitReceipt:
+        """Submit one job; returns the :class:`SubmitReceipt`."""
+        return SubmitReceipt.from_dict(self._request("POST", "/v1/jobs", {
             "kind": kind, "payload": payload,
             "timeout": timeout, "max_retries": max_retries,
-        })
+        })["receipt"])
 
     def submit_sweep(self, sweep, timeout: float = 0.0,
-                     max_retries: int = 2) -> dict:
+                     max_retries: int = 2) -> SubmitReceipt:
         """Submit a :class:`~repro.service.Sweep` (or spec dict)."""
-        return self._request("POST", "/v1/jobs", {
+        return SubmitReceipt.from_dict(self._request("POST", "/v1/jobs", {
             "sweep": _sweep_spec(sweep),
             "timeout": timeout, "max_retries": max_retries,
-        })
+        })["receipt"])
 
-    def job(self, job_id: str) -> dict:
-        return self._request("GET", f"/v1/jobs/{job_id}")
+    def job(self, job_id: str) -> JobView:
+        return JobView.from_dict(
+            self._request("GET", f"/v1/jobs/{job_id}")["job"]
+        )
 
-    def result(self, job_id: str) -> dict:
-        """Result view: ``{id, state, ready, result, error, cached}``."""
-        return self._request("GET", f"/v1/jobs/{job_id}/result")
+    def result(self, job_id: str) -> ResultView:
+        """The :class:`ResultView` envelope for one job."""
+        return ResultView.from_dict(
+            self._request("GET", f"/v1/jobs/{job_id}/result")
+        )
 
     def cancel(self, job_id: str) -> bool:
         """Cancel one PENDING job; True when this call cancelled it."""
@@ -163,17 +227,51 @@ class ServiceClient:
             self._request("POST", f"/v1/jobs/{job_id}/cancel")["cancelled"]
         )
 
+    # -- lease protocol (remote workers) ---------------------------------
+
+    def claim(self, worker: str, n: int = 1,
+              ttl: float = 30.0) -> tuple[Lease | None, list[Job]]:
+        """Lease up to ``n`` ready jobs; ``(None, [])`` when queue empty."""
+        body = self._request("POST", "/v1/leases",
+                             {"worker": worker, "n": n, "ttl": ttl})
+        lease = Lease.from_dict(body["lease"]) if body.get("lease") else None
+        jobs = [JobView.from_dict(j).to_job() for j in body.get("jobs", ())]
+        return lease, jobs
+
+    def heartbeat(self, lease_id: str, ttl: float = 30.0) -> Lease:
+        """Extend a lease; raises :class:`LeaseExpiredError` if lapsed."""
+        return Lease.from_dict(self._request(
+            "POST", f"/v1/leases/{lease_id}/heartbeat", {"ttl": ttl}
+        )["lease"])
+
+    def complete(self, job_id: str, lease_id: str,
+                 result: dict) -> JobView:
+        """Upload a leased job's result; returns the DONE job view."""
+        return JobView.from_dict(self._request(
+            "POST", f"/v1/jobs/{job_id}/complete",
+            {"lease": lease_id, "result": result},
+        )["job"])
+
+    def fail(self, job_id: str, lease_id: str, error: str) -> JobView:
+        """Report a leased attempt's failure (bounded retry applies)."""
+        return JobView.from_dict(self._request(
+            "POST", f"/v1/jobs/{job_id}/fail",
+            {"lease": lease_id, "error": error},
+        )["job"])
+
+    # -- polling ---------------------------------------------------------
+
     def wait(self, job_ids, timeout: float | None = None,
              poll_initial: float = 0.05, poll_max: float = 2.0,
              poll_factor: float = 2.0, jitter: float = 0.25,
-             rng: random.Random | None = None) -> dict[str, dict]:
-        """Block until every job is terminal; returns id -> result view.
+             rng: random.Random | None = None) -> dict[str, ResultView]:
+        """Block until every job is terminal; id -> :class:`ResultView`.
 
         The synchronous twin of :meth:`AsyncServiceClient.wait`, with
         the same backoff-and-jitter polling policy.
         """
         outstanding = list(dict.fromkeys(job_ids))
-        views: dict[str, dict] = {}
+        views: dict[str, ResultView] = {}
         backoff = _Backoff(poll_initial, poll_max, poll_factor, jitter,
                            rng or random.Random())
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -181,7 +279,7 @@ class ServiceClient:
             progressed = False
             for jid in list(outstanding):
                 view = self.result(jid)
-                if view["state"] in TERMINAL_STATES:
+                if view.state in TERMINAL_STATES:
                     views[jid] = view
                     outstanding.remove(jid)
                     progressed = True
@@ -198,8 +296,9 @@ class AsyncServiceClient:
 
     Blocking HTTP calls run on the event loop's default executor, so
     many clients (or many concurrent ``wait`` gathers) can share one
-    loop.  Pass an ``rng`` (e.g. ``random.Random(0)``) for
-    deterministic jitter in tests.
+    loop.  Returns the same typed objects as :class:`ServiceClient`.
+    Pass an ``rng`` (e.g. ``random.Random(0)``) for deterministic
+    jitter in tests.
     """
 
     def __init__(self, url: str, timeout: float = 30.0,
@@ -226,42 +325,60 @@ class AsyncServiceClient:
     async def healthz(self) -> dict:
         return await self._call(self._client.healthz)
 
-    async def queue(self) -> dict:
-        return await self._call(self._client.queue)
+    async def status(self, state: str | None = None,
+                     kind: str | None = None, limit: int | None = None,
+                     offset: int | None = None) -> QueuePage:
+        return await self._call(self._client.status, state=state,
+                                kind=kind, limit=limit, offset=offset)
 
-    async def status(self) -> dict:
-        return await self._call(self._client.status)
+    queue = status
 
     async def submit(self, kind: str, payload: dict, timeout: float = 0.0,
-                     max_retries: int = 2) -> dict:
+                     max_retries: int = 2) -> SubmitReceipt:
         return await self._call(self._client.submit, kind, payload,
                                 timeout=timeout, max_retries=max_retries)
 
     async def submit_sweep(self, sweep, timeout: float = 0.0,
-                           max_retries: int = 2) -> dict:
+                           max_retries: int = 2) -> SubmitReceipt:
         return await self._call(self._client.submit_sweep, sweep,
                                 timeout=timeout, max_retries=max_retries)
 
-    async def job(self, job_id: str) -> dict:
+    async def job(self, job_id: str) -> JobView:
         return await self._call(self._client.job, job_id)
 
-    async def result(self, job_id: str) -> dict:
+    async def result(self, job_id: str) -> ResultView:
         return await self._call(self._client.result, job_id)
 
     async def cancel(self, job_id: str) -> bool:
         return await self._call(self._client.cancel, job_id)
 
-    async def wait(self, job_ids, timeout: float | None = None) -> dict[str, dict]:
-        """Poll until every job id is terminal; id -> result view.
+    async def claim(self, worker: str, n: int = 1,
+                    ttl: float = 30.0) -> tuple[Lease | None, list[Job]]:
+        return await self._call(self._client.claim, worker, n=n, ttl=ttl)
 
-        Returns a mapping whose values are the ``/result`` views
-        (``state``, ``ready``, ``result``, ``error``), covering DONE,
-        FAILED, and CANCELLED alike -- callers decide what failure
-        means for them.  Raises :class:`WaitTimeout` if ``timeout``
-        seconds pass first.
+    async def heartbeat(self, lease_id: str, ttl: float = 30.0) -> Lease:
+        return await self._call(self._client.heartbeat, lease_id, ttl=ttl)
+
+    async def complete(self, job_id: str, lease_id: str,
+                       result: dict) -> JobView:
+        return await self._call(self._client.complete, job_id, lease_id,
+                                result)
+
+    async def fail(self, job_id: str, lease_id: str,
+                   error: str) -> JobView:
+        return await self._call(self._client.fail, job_id, lease_id,
+                                error)
+
+    async def wait(self, job_ids,
+                   timeout: float | None = None) -> dict[str, ResultView]:
+        """Poll until every job id is terminal; id -> :class:`ResultView`.
+
+        Covers DONE, FAILED, and CANCELLED alike -- callers decide what
+        failure means for them.  Raises :class:`WaitTimeout` if
+        ``timeout`` seconds pass first.
         """
         outstanding = list(dict.fromkeys(job_ids))
-        views: dict[str, dict] = {}
+        views: dict[str, ResultView] = {}
         backoff = _Backoff(self.poll_initial, self.poll_max,
                            self.poll_factor, self.jitter, self.rng)
         loop = asyncio.get_running_loop()
@@ -270,7 +387,7 @@ class AsyncServiceClient:
             progressed = False
             for jid in list(outstanding):
                 view = await self.result(jid)
-                if view["state"] in TERMINAL_STATES:
+                if view.state in TERMINAL_STATES:
                     views[jid] = view
                     outstanding.remove(jid)
                     progressed = True

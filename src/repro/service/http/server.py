@@ -6,26 +6,36 @@ clients share a single queue and result cache -- the networked analogue
 of many independent submitters keeping one tiled-factorization worker
 pool saturated.  Optionally it also hosts an in-process
 :class:`~repro.service.workers.WorkerPool` on a background thread
-(``workers > 0``), which is what ``repro serve`` runs.
+(``workers > 0``), which is what ``repro serve`` runs; remote
+:class:`~repro.service.fleet.RemoteWorkerPool` processes drain the same
+queue through the lease endpoints.
 
-Endpoints (all request/response bodies are JSON):
+v1 endpoints (all request/response bodies are JSON):
 
-=======  ==========================  =======================================
-method   path                        action
-=======  ==========================  =======================================
-POST     ``/v1/jobs``                submit one job or a sweep
-GET      ``/v1/jobs``                full status (counts + per-job rows)
-GET      ``/v1/jobs/{id}``           one job's view
-GET      ``/v1/jobs/{id}/result``    result (``ready`` flag while pending)
-POST     ``/v1/jobs/{id}/cancel``    cancel a PENDING job
-GET      ``/v1/queue``               counts by state + outstanding total
-GET      ``/v1/healthz``             liveness probe
-=======  ==========================  =======================================
+=======  ================================  ===============================
+method   path                              action
+=======  ================================  ===============================
+POST     ``/v1/jobs``                      submit -> ``{"receipt": ...}``
+GET      ``/v1/jobs``                      queue page (filter + paginate)
+GET      ``/v1/jobs/{id}``                 one job -> ``{"job": ...}``
+GET      ``/v1/jobs/{id}/result``          ``{"job":..., "ready", "result"}``
+POST     ``/v1/jobs/{id}/cancel``          cancel a PENDING job
+POST     ``/v1/jobs/{id}/complete``        leased result upload
+POST     ``/v1/jobs/{id}/fail``            leased failure report
+POST     ``/v1/leases``                    claim jobs under a TTL lease
+POST     ``/v1/leases/{id}/heartbeat``     extend a live lease
+GET      ``/v1/queue``                     queue page (same as GET jobs)
+GET      ``/v1/healthz``                   liveness probe
+=======  ================================  ===============================
 
-Error contract: :class:`~repro.errors.ConfigError` (bad parameters) maps
-to **400**, an unknown job id to **404**, any other
-:class:`~repro.errors.ServiceError` (unknown kind, bad submission shape)
-to **422**; every error body is a one-line ``{"error": "..."}``.
+Error contract: every error body is
+``{"error": {"code": "...", "message": "..."}}`` where ``code`` is the
+stable machine-readable identifier the raised
+:class:`~repro.errors.ReproError` subclass carries (``bad_config`` 400,
+``malformed`` 400, ``unknown_job`` / ``unknown_route`` 404,
+``unknown_kind`` 422, ``conflict`` / ``lease_expired`` 409); the HTTP
+status comes from the same class.  Clients re-raise the matching typed
+exception by ``code``.
 """
 
 from __future__ import annotations
@@ -33,43 +43,27 @@ from __future__ import annotations
 import json
 import re
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ...config import HPLConfig
-from ...errors import ConfigError, ServiceError, UnknownJobError
-from ..api import Service, SubmitReceipt
-from ..jobs import Job
+from ...errors import (
+    MalformedRequestError,
+    ReproError,
+    ServiceError,
+    UnknownRouteError,
+)
+from ..api import Service
 from ..sweep import Sweep
+from ..views import JobView
 from ..workers import WorkerPool
 
 _JOB_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)$")
 _RESULT_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result$")
 _CANCEL_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/cancel$")
-
-
-def job_view(job: Job) -> dict:
-    """The JSON shape one job is reported as over the wire."""
-    return {
-        "id": job.id,
-        "kind": job.kind,
-        "state": job.state.value,
-        "attempts": job.attempts,
-        "cached": job.cached,
-        "key": job.key,
-        "payload": job.payload,
-        "error": job.error.splitlines()[-1] if job.error else "",
-        "created": job.created,
-        "updated": job.updated,
-    }
-
-
-def receipt_view(receipt: SubmitReceipt) -> dict:
-    return {
-        "new": receipt.new,
-        "cached": receipt.cached,
-        "deduped": receipt.deduped,
-        "job_ids": receipt.job_ids,
-    }
+_COMPLETE_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/complete$")
+_FAIL_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/fail$")
+_HEARTBEAT_RE = re.compile(r"^/v1/leases/([A-Za-z0-9_-]+)/heartbeat$")
 
 
 def _validate_payloads(kind: str, payloads: list) -> None:
@@ -81,8 +75,9 @@ def _validate_payloads(kind: str, payloads: list) -> None:
     """
     for payload in payloads:
         if not isinstance(payload, dict):
-            raise ConfigError(
-                f"job payload must be a JSON object, got {type(payload).__name__}"
+            raise MalformedRequestError(
+                f"job payload must be a JSON object,"
+                f" got {type(payload).__name__}"
             )
         if kind == "run":
             depth0 = {"depth": 0} if payload.get("schedule") == "classic" \
@@ -93,16 +88,20 @@ def _validate_payloads(kind: str, payloads: list) -> None:
 def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
                                            float, int]:
     if not isinstance(body, dict):
-        raise ConfigError("submission body must be a JSON object")
+        raise MalformedRequestError("submission body must be a JSON object")
     try:
         timeout = float(body.get("timeout", 0.0))
         max_retries = int(body.get("max_retries", 2))
     except (TypeError, ValueError) as exc:
-        raise ConfigError(f"bad timeout/max_retries: {exc}") from None
+        raise MalformedRequestError(
+            f"bad timeout/max_retries: {exc}"
+        ) from None
     if "sweep" in body:
         spec = body["sweep"]
         if not isinstance(spec, dict) or "kind" not in spec:
-            raise ConfigError("'sweep' must be an object with a 'kind'")
+            raise MalformedRequestError(
+                "'sweep' must be an object with a 'kind'"
+            )
         sweep = Sweep(
             kind=spec["kind"],
             axes=spec.get("axes", {}),
@@ -112,9 +111,21 @@ def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
     if "kind" in body:
         payload = body.get("payload", {})
         return body["kind"], [payload], None, timeout, max_retries
-    raise ServiceError(
+    raise MalformedRequestError(
         "submission must carry either 'kind' + 'payload' or a 'sweep'"
     )
+
+
+def _int_param(params: dict, name: str, default=None):
+    raw = params.get(name, [None])[-1]
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise MalformedRequestError(
+            f"query parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -141,31 +152,38 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message.splitlines()[-1]})
+    def _send_error_json(self, status: int, code: str,
+                         message: str) -> None:
+        self._send_json(status, {
+            "error": {"code": code, "message": message.splitlines()[-1]},
+        })
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         if not raw:
-            raise ConfigError("request body must be a JSON object")
+            raise MalformedRequestError("request body must be a JSON object")
         try:
-            return json.loads(raw)
+            body = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise ConfigError(f"request body is not valid JSON: {exc}") \
-                from None
+            raise MalformedRequestError(
+                f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(body, dict):
+            raise MalformedRequestError(
+                f"request body must be a JSON object,"
+                f" got {type(body).__name__}"
+            )
+        return body
 
     def _dispatch(self, fn) -> None:
         try:
             status, obj = fn()
-        except ConfigError as exc:
-            self._send_error_json(400, str(exc))
-        except UnknownJobError as exc:
-            self._send_error_json(404, str(exc))
-        except ServiceError as exc:
-            self._send_error_json(422, str(exc))
+        except ReproError as exc:
+            self._send_error_json(exc.http_status, exc.code, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            self._send_error_json(500, "internal",
+                                  f"{type(exc).__name__}: {exc}")
         else:
             self._send_json(status, obj)
 
@@ -177,38 +195,35 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._dispatch(self._route_post)
 
+    def _queue_page(self, query: str) -> dict:
+        params = urllib.parse.parse_qs(query)
+        state = params.get("state", [None])[-1] or None
+        kind = params.get("kind", [None])[-1] or None
+        page = self.service.status(
+            state=state, kind=kind,
+            limit=_int_param(params, "limit"),
+            offset=_int_param(params, "offset", 0),
+        )
+        return page.to_dict()
+
     def _route_get(self) -> tuple[int, dict]:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         if path == "/v1/healthz":
             return 200, {
                 "ok": True,
                 "workdir": self.service.workdir,
                 "workers": getattr(self.server, "workers", 0),
             }
-        if path == "/v1/queue":
-            counts = self.service.store.counts()
-            return 200, {
-                "counts": counts,
-                "outstanding": self.service.store.outstanding(),
-            }
-        if path == "/v1/jobs":
-            return 200, self.service.status()
+        if path in ("/v1/queue", "/v1/jobs"):
+            return 200, self._queue_page(query)
         m = _JOB_RE.match(path)
         if m:
-            return 200, job_view(self.service.job(m.group(1)))
+            return 200, {"job": self.service.job_view(m.group(1)).to_dict()}
         m = _RESULT_RE.match(path)
         if m:
-            job = self.service.job(m.group(1))
-            result = self.service.result(job.id)
-            return 200, {
-                "id": job.id,
-                "state": job.state.value,
-                "cached": job.cached,
-                "ready": result is not None,
-                "result": result,
-                "error": job.error.splitlines()[-1] if job.error else "",
-            }
-        raise UnknownJobError(f"no such endpoint: GET {path}")
+            return 200, self.service.result_view(m.group(1)).to_dict()
+        raise UnknownRouteError(f"no such endpoint: GET {path}")
 
     def _route_post(self) -> tuple[int, dict]:
         path = self.path.split("?", 1)[0].rstrip("/")
@@ -226,13 +241,66 @@ class _Handler(BaseHTTPRequestHandler):
                     kind, payloads[0], timeout=timeout,
                     max_retries=max_retries,
                 )
-            return 200, receipt_view(receipt)
+            return 200, {"receipt": receipt.to_dict()}
+        if path == "/v1/leases":
+            body = self._read_body()
+            worker = body.get("worker", "")
+            if not isinstance(worker, str) or not worker:
+                raise MalformedRequestError(
+                    "'worker' must be a non-empty string"
+                )
+            try:
+                n = int(body.get("n", 1))
+                ttl = float(body.get("ttl", 30.0))
+            except (TypeError, ValueError) as exc:
+                raise MalformedRequestError(f"bad n/ttl: {exc}") from None
+            lease, jobs = self.service.claim_jobs(worker, n=n, ttl=ttl)
+            return 200, {
+                "lease": lease.to_dict() if lease else None,
+                "jobs": [JobView.from_job(j).to_dict() for j in jobs],
+            }
+        m = _HEARTBEAT_RE.match(path)
+        if m:
+            body = self._read_body()
+            try:
+                ttl = float(body.get("ttl", 30.0))
+            except (TypeError, ValueError) as exc:
+                raise MalformedRequestError(f"bad ttl: {exc}") from None
+            lease = self.service.heartbeat(m.group(1), ttl=ttl)
+            return 200, {"lease": lease.to_dict()}
+        m = _COMPLETE_RE.match(path)
+        if m:
+            body = self._read_body()
+            lease_id = body.get("lease", "")
+            if not isinstance(lease_id, str) or not lease_id:
+                raise MalformedRequestError(
+                    "'lease' must be a non-empty string"
+                )
+            job = self.service.complete_job(
+                m.group(1), lease_id, body.get("result")
+            )
+            return 200, {"job": JobView.from_job(job).to_dict()}
+        m = _FAIL_RE.match(path)
+        if m:
+            body = self._read_body()
+            lease_id = body.get("lease", "")
+            if not isinstance(lease_id, str) or not lease_id:
+                raise MalformedRequestError(
+                    "'lease' must be a non-empty string"
+                )
+            job = self.service.fail_job(
+                m.group(1), lease_id, str(body.get("error", ""))
+            )
+            return 200, {"job": JobView.from_job(job).to_dict()}
         m = _CANCEL_RE.match(path)
         if m:
             job = self.service.job(m.group(1))  # 404 on unknown id
             cancelled = self.service.cancel([job.id])
-            return 200, {"id": job.id, "cancelled": bool(cancelled)}
-        raise UnknownJobError(f"no such endpoint: POST {path}")
+            return 200, {
+                "job": self.service.job_view(job.id).to_dict(),
+                "cancelled": bool(cancelled),
+            }
+        raise UnknownRouteError(f"no such endpoint: POST {path}")
 
 
 class _Server(ThreadingHTTPServer):
@@ -251,8 +319,10 @@ class ServiceHTTPServer:
     ``.url``).  ``workers > 0`` runs an in-process
     :class:`WorkerPool` on a background thread for the server's
     lifetime, so one ``repro serve`` process is a complete batch system.
-    Usable as a context manager: ``with ServiceHTTPServer(...) as srv:``
-    starts the background threads and tears them down cleanly.
+    With ``workers=0`` the process is a pure coordinator: submissions
+    queue up for remote ``repro workers --url`` fleets.  Usable as a
+    context manager: ``with ServiceHTTPServer(...) as srv:`` starts the
+    background threads and tears them down cleanly.
     """
 
     def __init__(self, workdir, host: str = "127.0.0.1", port: int = 0,

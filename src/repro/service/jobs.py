@@ -61,6 +61,10 @@ class Job:
         cached: True when the job was satisfied from cache at submit
             time and never ran.
         worker: Name of the worker slot that last claimed the job.
+        lease_id: Id of the remote lease holding the job while RUNNING
+            (empty for jobs run by a local, same-filesystem pool).
+        lease_expires: Unix time the holding lease lapses; after it a
+            still-RUNNING job is requeued and late reports are rejected.
         created / updated: Unix timestamps.
     """
 
@@ -77,6 +81,8 @@ class Job:
     result_key: str = ""
     cached: bool = False
     worker: str = ""
+    lease_id: str = ""
+    lease_expires: float = 0.0
     created: float = 0.0
     updated: float = 0.0
 
@@ -94,20 +100,22 @@ class Job:
             self.id, self.kind, json.dumps(self.payload, sort_keys=True),
             self.key, self.state.value, self.attempts, self.max_retries,
             self.timeout, self.not_before, self.error, self.result_key,
-            int(self.cached), self.worker, self.created, self.updated,
+            int(self.cached), self.worker, self.lease_id,
+            self.lease_expires, self.created, self.updated,
         )
 
     @classmethod
     def from_row(cls, row) -> "Job":
         (jid, kind, payload, key, state, attempts, max_retries, timeout,
-         not_before, error, result_key, cached, worker, created,
-         updated) = row
+         not_before, error, result_key, cached, worker, lease_id,
+         lease_expires, created, updated) = row
         return cls(
             id=jid, kind=kind, payload=json.loads(payload), key=key,
             state=JobState(state), attempts=attempts,
             max_retries=max_retries, timeout=timeout,
             not_before=not_before, error=error, result_key=result_key,
-            cached=bool(cached), worker=worker, created=created,
+            cached=bool(cached), worker=worker, lease_id=lease_id,
+            lease_expires=lease_expires, created=created,
             updated=updated,
         )
 
@@ -115,5 +123,40 @@ class Job:
 COLUMNS = (
     "id", "kind", "payload", "key", "state", "attempts", "max_retries",
     "timeout", "not_before", "error", "result_key", "cached", "worker",
-    "created", "updated",
+    "lease_id", "lease_expires", "created", "updated",
 )
+
+
+@dataclasses.dataclass
+class Lease:
+    """One worker's time-bounded claim on a batch of RUNNING jobs.
+
+    A lease is how a worker with *no shared filesystem* holds jobs: the
+    store grants it at claim time with a TTL, heartbeats extend it, and
+    a lease that lapses (worker died, network partition) forfeits its
+    jobs back to PENDING -- exactly once, by the expiry sweep.
+    """
+
+    id: str
+    worker: str
+    created: float
+    expires: float
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "worker": self.worker,
+            "created": self.created,
+            "expires": self.expires,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(
+            id=data["id"], worker=data["worker"],
+            created=data["created"], expires=data["expires"],
+        )
+
+
+def new_lease_id() -> str:
+    return uuid.uuid4().hex[:12]

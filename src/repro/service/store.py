@@ -22,8 +22,8 @@ import sqlite3
 import threading
 import time
 
-from ..errors import UnknownJobError
-from .jobs import COLUMNS, Job, JobState
+from ..errors import LeaseConflictError, LeaseExpiredError, UnknownJobError
+from .jobs import COLUMNS, Job, JobState, Lease, new_lease_id
 
 _SCHEMA = f"""
 CREATE TABLE IF NOT EXISTS jobs (
@@ -40,12 +40,29 @@ CREATE TABLE IF NOT EXISTS jobs (
     result_key TEXT NOT NULL,
     cached INTEGER NOT NULL,
     worker TEXT NOT NULL,
+    lease_id TEXT NOT NULL DEFAULT '',
+    lease_expires REAL NOT NULL DEFAULT 0,
     created REAL NOT NULL,
     updated REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS leases (
+    id TEXT PRIMARY KEY,
+    worker TEXT NOT NULL,
+    created REAL NOT NULL,
+    expires REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, not_before, created);
 CREATE INDEX IF NOT EXISTS jobs_key ON jobs (key);
 """
+
+#: Columns a pre-lease database is missing; added in place on open so a
+#: workdir created by an older service keeps working under this one.
+_MIGRATIONS = (
+    ("lease_id", "ALTER TABLE jobs ADD COLUMN lease_id"
+                 " TEXT NOT NULL DEFAULT ''"),
+    ("lease_expires", "ALTER TABLE jobs ADD COLUMN lease_expires"
+                      " REAL NOT NULL DEFAULT 0"),
+)
 
 _COLS = ", ".join(COLUMNS)
 _PLACEHOLDERS = ", ".join("?" for _ in COLUMNS)
@@ -77,6 +94,10 @@ class JobStore:
             conn.isolation_level = None  # explicit transactions only
             conn.execute("PRAGMA busy_timeout = 30000")
             conn.executescript(_SCHEMA)
+            have = {row[1] for row in conn.execute("PRAGMA table_info(jobs)")}
+            for column, ddl in _MIGRATIONS:
+                if column not in have:
+                    conn.execute(ddl)
             self._local.conn = conn
             self._local.pid = pid
         return conn
@@ -248,6 +269,266 @@ class JobStore:
             self._event(job_id, "cancelled")
         return hit
 
+    # -- leases (remote workers) -----------------------------------------
+
+    def claim_batch(self, worker: str, limit: int = 1, ttl: float = 60.0,
+                    now: float | None = None) -> tuple[Lease | None,
+                                                       list[Job]]:
+        """Atomically lease up to ``limit`` ready PENDING jobs to ``worker``.
+
+        The batch and its lease are created in one transaction, so two
+        remote pools polling one coordinator can never lease the same
+        job.  Returns ``(None, [])`` when nothing is ready -- no empty
+        lease is minted.  Expired leases are swept first, so a dead
+        worker's jobs become claimable by the very call that replaces it.
+        """
+        now = time.time() if now is None else now
+        self.expire_leases(now=now)
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            rows = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE state = ? AND not_before <= ?"
+                " ORDER BY created, id LIMIT ?",
+                (JobState.PENDING.value, now, max(0, int(limit))),
+            ).fetchall()
+            if not rows:
+                conn.execute("COMMIT")
+                return None, []
+            lease = Lease(id=new_lease_id(), worker=worker, created=now,
+                          expires=now + ttl)
+            conn.execute(
+                "INSERT INTO leases (id, worker, created, expires)"
+                " VALUES (?, ?, ?, ?)",
+                (lease.id, lease.worker, lease.created, lease.expires),
+            )
+            jobs = []
+            for row in rows:
+                job = Job.from_row(row)
+                job.state = JobState.RUNNING
+                job.attempts += 1
+                job.worker = worker
+                job.lease_id = lease.id
+                job.lease_expires = lease.expires
+                job.updated = now
+                conn.execute(
+                    "UPDATE jobs SET state = ?, attempts = ?, worker = ?,"
+                    " lease_id = ?, lease_expires = ?, updated = ?"
+                    " WHERE id = ?",
+                    (job.state.value, job.attempts, worker, lease.id,
+                     lease.expires, now, job.id),
+                )
+                jobs.append(job)
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        for job in jobs:
+            self._event(job.id, "claimed", worker=worker,
+                        attempt=job.attempts, lease=lease.id)
+        return lease, jobs
+
+    def heartbeat_lease(self, lease_id: str, ttl: float = 60.0,
+                        now: float | None = None) -> Lease:
+        """Extend a live lease (and its jobs) by ``ttl`` seconds.
+
+        Raises :class:`LeaseExpiredError` when the lease has lapsed or
+        never existed -- either way the worker no longer owns its jobs.
+        """
+        now = time.time() if now is None else now
+        self.expire_leases(now=now)
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                "SELECT id, worker, created, expires FROM leases"
+                " WHERE id = ?", (lease_id,),
+            ).fetchone()
+            if row is None or row[3] <= now:
+                conn.execute("COMMIT")
+                raise LeaseExpiredError(
+                    f"lease {lease_id} has expired or does not exist"
+                )
+            lease = Lease(id=row[0], worker=row[1], created=row[2],
+                          expires=now + ttl)
+            conn.execute("UPDATE leases SET expires = ? WHERE id = ?",
+                         (lease.expires, lease_id))
+            conn.execute(
+                "UPDATE jobs SET lease_expires = ?, updated = ?"
+                " WHERE lease_id = ? AND state = ?",
+                (lease.expires, now, lease_id, JobState.RUNNING.value),
+            )
+            conn.execute("COMMIT")
+        except LeaseExpiredError:
+            raise
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return lease
+
+    def _leased_job(self, conn, job_id: str, lease_id: str) -> Job:
+        """Fetch ``job_id`` and verify ``lease_id`` still holds it.
+
+        Must run inside the caller's write transaction so the check and
+        the subsequent state change are atomic.
+        """
+        row = conn.execute(
+            f"SELECT {_COLS} FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownJobError(f"no such job: {job_id}")
+        job = Job.from_row(row)
+        if job.state is JobState.RUNNING and job.lease_id == lease_id:
+            return job
+        if job.state is JobState.RUNNING and job.lease_id:
+            raise LeaseConflictError(
+                f"job {job_id} is held by lease {job.lease_id},"
+                f" not {lease_id}"
+            )
+        raise LeaseExpiredError(
+            f"lease {lease_id} no longer holds job {job_id}"
+            f" (state {job.state.value})"
+        )
+
+    def complete_leased(self, job_id: str, lease_id: str,
+                        result_key: str,
+                        now: float | None = None) -> Job:
+        """Mark a leased job DONE, guarded by lease ownership.
+
+        A worker whose lease lapsed mid-upload gets
+        :class:`LeaseExpiredError` and must drop the job: the store has
+        already requeued it, and accepting the late result would let one
+        job complete twice.
+        """
+        now = time.time() if now is None else now
+        self.expire_leases(now=now)
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            job = self._leased_job(conn, job_id, lease_id)
+            job.state = JobState.DONE
+            job.result_key = result_key
+            job.error = ""
+            job.lease_id = ""
+            job.lease_expires = 0.0
+            job.updated = now
+            conn.execute(
+                "UPDATE jobs SET state = ?, result_key = ?, error = '',"
+                " lease_id = '', lease_expires = 0, updated = ?"
+                " WHERE id = ?",
+                (job.state.value, result_key, now, job_id),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        self._event(job_id, "done", state=job.state.value, lease=lease_id)
+        return job
+
+    def fail_leased(self, job_id: str, lease_id: str, error: str,
+                    backoff_base: float = 0.5,
+                    now: float | None = None) -> Job:
+        """Record a leased attempt's failure, guarded by lease ownership.
+
+        Applies the same bounded-retry policy as the local pool: within
+        ``max_retries`` the job returns to PENDING with exponential
+        backoff, otherwise it is FAILED.
+        """
+        now = time.time() if now is None else now
+        self.expire_leases(now=now)
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            job = self._leased_job(conn, job_id, lease_id)
+            if job.attempts <= job.max_retries:
+                job.state = JobState.PENDING
+                job.not_before = now + backoff_base * 2 ** (job.attempts - 1)
+            else:
+                job.state = JobState.FAILED
+            job.error = error
+            job.lease_id = ""
+            job.lease_expires = 0.0
+            job.updated = now
+            conn.execute(
+                "UPDATE jobs SET state = ?, not_before = ?, error = ?,"
+                " lease_id = '', lease_expires = 0, updated = ?"
+                " WHERE id = ?",
+                (job.state.value, job.not_before, error, now, job_id),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        event = "requeued" if job.state is JobState.PENDING else "failed"
+        self._event(job_id, event, state=job.state.value, lease=lease_id,
+                    error=error.splitlines()[-1][:200] if error else "")
+        return job
+
+    def expire_leases(self, now: float | None = None) -> list[Job]:
+        """Requeue jobs whose lease lapsed; delete the dead leases.
+
+        The scan, the job transitions, and the lease deletions share one
+        write transaction, so concurrent sweeps (every claim/heartbeat
+        runs one) serialize and each orphaned job is requeued **exactly
+        once** -- the second sweep finds no matching rows.  Jobs whose
+        retry budget is already spent are FAILED instead of requeued.
+        """
+        now = time.time() if now is None else now
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            dead = conn.execute(
+                "SELECT id FROM leases WHERE expires <= ?", (now,)
+            ).fetchall()
+            rows = conn.execute(
+                f"SELECT {_COLS} FROM jobs WHERE state = ?"
+                " AND lease_id != '' AND lease_expires <= ?",
+                (JobState.RUNNING.value, now),
+            ).fetchall()
+            recovered = []
+            for row in rows:
+                job = Job.from_row(row)
+                expired_lease = job.lease_id
+                message = (f"lease {job.lease_id} expired"
+                           f" (worker {job.worker} presumed dead)")
+                if job.attempts <= job.max_retries:
+                    job.state = JobState.PENDING
+                    job.not_before = now
+                else:
+                    job.state = JobState.FAILED
+                job.error = message
+                job.lease_id = ""
+                job.lease_expires = 0.0
+                job.updated = now
+                conn.execute(
+                    "UPDATE jobs SET state = ?, not_before = ?, error = ?,"
+                    " lease_id = '', lease_expires = 0, updated = ?"
+                    " WHERE id = ?",
+                    (job.state.value, job.not_before, message, now, job.id),
+                )
+                recovered.append((job, expired_lease))
+            if dead:
+                conn.execute("DELETE FROM leases WHERE expires <= ?", (now,))
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        for job, expired_lease in recovered:
+            self._event(job.id, "lease_expired", lease=expired_lease,
+                        worker=job.worker, state=job.state.value)
+        return [job for job, _ in recovered]
+
+    def get_lease(self, lease_id: str) -> Lease | None:
+        """The lease row, if it still exists (expired rows are swept)."""
+        row = self._connection().execute(
+            "SELECT id, worker, created, expires FROM leases WHERE id = ?",
+            (lease_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return Lease(id=row[0], worker=row[1], created=row[2],
+                     expires=row[3])
+
     # -- reads -----------------------------------------------------------
 
     def get(self, job_id: str) -> Job:
@@ -258,19 +539,45 @@ class JobStore:
             raise UnknownJobError(f"no such job: {job_id}")
         return Job.from_row(row)
 
-    def list(self, state: JobState | None = None) -> list[Job]:
-        conn = self._connection()
-        if state is None:
-            rows = conn.execute(
-                f"SELECT {_COLS} FROM jobs ORDER BY created, id"
-            ).fetchall()
-        else:
-            rows = conn.execute(
-                f"SELECT {_COLS} FROM jobs WHERE state = ?"
-                " ORDER BY created, id",
-                (state.value,),
-            ).fetchall()
+    @staticmethod
+    def _filters(state, kind) -> tuple[str, list]:
+        clauses, params = [], []
+        if state is not None:
+            value = state.value if isinstance(state, JobState) \
+                else JobState(state).value
+            clauses.append("state = ?")
+            params.append(value)
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, params
+
+    def list(self, state: JobState | str | None = None,
+             kind: str | None = None, limit: int | None = None,
+             offset: int = 0) -> list[Job]:
+        """Jobs matching the filters, oldest first, windowed.
+
+        ``limit=None`` returns every match from ``offset`` on; a string
+        ``state`` is validated against :class:`JobState` (raising
+        ``ValueError`` on junk, which callers surface as bad input).
+        """
+        where, params = self._filters(state, kind)
+        sql = f"SELECT {_COLS} FROM jobs{where} ORDER BY created, id"
+        if limit is not None or offset:
+            sql += " LIMIT ? OFFSET ?"
+            params += [-1 if limit is None else max(0, int(limit)),
+                       max(0, int(offset))]
+        rows = self._connection().execute(sql, params).fetchall()
         return [Job.from_row(r) for r in rows]
+
+    def count_matching(self, state: JobState | str | None = None,
+                       kind: str | None = None) -> int:
+        """How many jobs match the filters (the pre-window total)."""
+        where, params = self._filters(state, kind)
+        return self._connection().execute(
+            f"SELECT COUNT(*) FROM jobs{where}", params
+        ).fetchone()[0]
 
     def counts(self) -> dict[str, int]:
         """Job count per state (every state present, zero included)."""

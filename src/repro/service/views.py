@@ -1,0 +1,149 @@
+"""Typed read models for the v1 API: one shape per resource.
+
+Every surface that reports a job -- the :class:`~repro.service.api.Service`
+facade, the HTTP server, both HTTP clients, and the CLI tables -- speaks
+:class:`JobView`; collections travel as a :class:`QueuePage` (jobs plus
+counts plus the pagination window) and results as a :class:`ResultView`.
+Serialization is symmetric (``to_dict`` / ``from_dict``), so a view that
+crosses the wire reconstructs into the same dataclass on the client,
+and the JSON envelope is always ``{"job": {...}}`` for one job and
+``{"jobs": [...], ...}`` for a page -- never a bare dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .jobs import Job
+
+
+def one_line(error: str) -> str:
+    """The last line of a (possibly multi-line) error, for display."""
+    return error.splitlines()[-1] if error else ""
+
+
+@dataclasses.dataclass(frozen=True)
+class JobView:
+    """The read-only projection of one job that crosses the API."""
+
+    id: str
+    kind: str
+    state: str
+    attempts: int
+    max_retries: int
+    timeout: float
+    cached: bool
+    key: str
+    payload: dict
+    error: str
+    result_key: str
+    worker: str
+    created: float
+    updated: float
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobView":
+        return cls(
+            id=job.id, kind=job.kind, state=job.state.value,
+            attempts=job.attempts, max_retries=job.max_retries,
+            timeout=job.timeout, cached=job.cached, key=job.key,
+            payload=job.payload, error=one_line(job.error),
+            result_key=job.result_key, worker=job.worker,
+            created=job.created, updated=job.updated,
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobView":
+        return cls(**{f.name: data[f.name]
+                      for f in dataclasses.fields(cls)})
+
+    def to_job(self) -> Job:
+        """A :class:`Job` a *remote* worker can execute.
+
+        Reconstructs the fields runners and supervisors consume
+        (payload, attempt count, retry budget, timeout); store-side
+        bookkeeping the wire view deliberately drops (``not_before``,
+        lease columns) stays at its defaults.
+        """
+        return Job(
+            id=self.id, kind=self.kind, payload=self.payload,
+            key=self.key, state=self.state, attempts=self.attempts,
+            max_retries=self.max_retries, timeout=self.timeout,
+            error=self.error, result_key=self.result_key,
+            cached=self.cached, worker=self.worker,
+            created=self.created, updated=self.updated,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QueuePage:
+    """One filtered, windowed slice of the queue plus its global counts.
+
+    ``total`` counts every job matching the ``state``/``kind`` filter
+    *before* the ``limit``/``offset`` window was applied, so clients can
+    page through without a separate count call; ``counts`` and
+    ``outstanding`` always describe the whole queue, unfiltered.
+    """
+
+    jobs: tuple
+    counts: dict
+    total: int
+    outstanding: int
+    limit: int | None
+    offset: int
+    state: str | None = None
+    kind: str | None = None
+    workdir: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": [v.to_dict() for v in self.jobs],
+            "counts": dict(self.counts),
+            "total": self.total,
+            "outstanding": self.outstanding,
+            "limit": self.limit,
+            "offset": self.offset,
+            "state": self.state,
+            "kind": self.kind,
+            "workdir": self.workdir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueuePage":
+        return cls(
+            jobs=tuple(JobView.from_dict(j) for j in data["jobs"]),
+            counts=data["counts"], total=data["total"],
+            outstanding=data["outstanding"], limit=data["limit"],
+            offset=data["offset"], state=data.get("state"),
+            kind=data.get("kind"), workdir=data.get("workdir", ""),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultView:
+    """One job's result envelope: the job view plus readiness + payload."""
+
+    job: JobView
+    ready: bool
+    result: dict | None
+
+    @property
+    def state(self) -> str:
+        return self.job.state
+
+    def to_dict(self) -> dict:
+        return {
+            "job": self.job.to_dict(),
+            "ready": self.ready,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResultView":
+        return cls(
+            job=JobView.from_dict(data["job"]),
+            ready=data["ready"], result=data["result"],
+        )

@@ -30,7 +30,7 @@ import os
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Callable
 
 from ..errors import ServiceError, UnknownJobKindError
@@ -41,6 +41,29 @@ from .store import JobStore
 Runner = Callable[[dict, Job], dict]
 
 RUNNERS: dict[str, Runner] = {}
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Every worker-pool knob, in one bundle shared by all entry points.
+
+    :meth:`Service.run_workers`, the ``repro workers`` CLI command, and
+    the remote :class:`~repro.service.fleet.RemoteWorkerPool` all accept
+    this dataclass instead of re-plumbing the same six arguments; the
+    defaults match the historical per-argument defaults.  ``lease_ttl``
+    only applies to remote pools (local pools hold no leases).
+    """
+
+    n: int = 2
+    drain: bool = True
+    max_seconds: float | None = None
+    poll_interval: float = 0.02
+    backoff_base: float = 0.5
+    name: str = "pool"
+    lease_ttl: float = 30.0
+
+    def replace(self, **changes) -> "WorkerOptions":
+        return _dc_replace(self, **changes)
 
 
 def register_runner(kind: str, fn: Runner) -> None:
@@ -271,6 +294,14 @@ class WorkerPool:
             else None
         )
 
+    @classmethod
+    def from_options(cls, workdir, options: WorkerOptions) -> "WorkerPool":
+        return cls(
+            workdir, nworkers=options.n,
+            poll_interval=options.poll_interval,
+            backoff_base=options.backoff_base, name=options.name,
+        )
+
     # -- outcome handling ------------------------------------------------
 
     def _finish(self, slot: _Slot, summary: PoolSummary,
@@ -359,12 +390,17 @@ class WorkerPool:
 
         ``recover=True`` requeues jobs found already RUNNING at startup:
         with one supervisor per workdir (the intended deployment) those
-        can only be orphans of a supervisor that died mid-job.
+        can only be orphans of a supervisor that died mid-job.  Jobs
+        held by a *lease* are not orphans -- a remote worker may still
+        be running them and will heartbeat or report; if it died, the
+        store's lease-expiry sweep requeues them instead.
         """
         summary = PoolSummary()
         start = time.time()
         if recover:
             for orphan in self.store.list(JobState.RUNNING):
+                if orphan.lease_id:
+                    continue
                 self.store.requeue(
                     orphan.id, "orphaned by a dead worker pool", 0.0
                 )

@@ -5,6 +5,11 @@ The acceptance scenario lives in :class:`TestEndToEnd`: a real
 submitted through :class:`AsyncServiceClient`, cached/deduped
 dispositions on resubmission, a cancellation, and results fetched for
 the rest -- all over the socket, with a clean shutdown at the end.
+
+Every response crosses the wire as a typed envelope (``{"receipt"}``,
+``{"job"}``, the queue page, ``{"error": {"code", "message"}}``) and the
+clients hand back the same dataclasses local callers get -- those
+round-trips are asserted here.
 """
 
 from __future__ import annotations
@@ -16,14 +21,20 @@ import random
 import signal
 import subprocess
 import sys
-import time
 import urllib.request
 
 import pytest
 
 from repro.cli import main
-from repro.errors import ConfigError, ServiceError, UnknownJobError
-from repro.service import Sweep
+from repro.errors import (
+    ConfigError,
+    MalformedRequestError,
+    ServiceError,
+    UnknownJobError,
+    UnknownJobKindError,
+    UnknownRouteError,
+)
+from repro.service import JobView, QueuePage, SubmitReceipt, Sweep
 from repro.service.http import (
     AsyncServiceClient,
     ServiceClient,
@@ -60,59 +71,83 @@ class TestEndpoints:
 
     def test_submit_single_and_poll_result(self, client):
         receipt = client.submit("probe", {"behavior": "ok"})
-        assert len(receipt["new"]) == 1
-        jid = receipt["new"][0]
+        assert isinstance(receipt, SubmitReceipt)
+        assert len(receipt.new) == 1
+        jid = receipt.new[0]
         view = client.wait([jid], timeout=60)[jid]
-        assert view["state"] == "DONE" and view["ready"] is True
-        assert view["result"]["ok"] is True
+        assert view.state == "DONE" and view.ready is True
+        assert view.result["ok"] is True
 
     def test_submit_sweep_dispositions(self, client):
         receipt = client.submit_sweep(SIM_SWEEP)
-        assert len(receipt["new"]) == 4
+        assert len(receipt.new) == 4
         # Same sweep again while jobs are pending/running: every point
         # is deduplicated or already served from cache -- never requeued.
         again = client.submit_sweep(SIM_SWEEP)
-        assert not again["new"]
-        assert len(again["deduped"]) + len(again["cached"]) == 4
+        assert not again.new
+        assert len(again.deduped) + len(again.cached) == 4
 
     def test_queue_counts(self, client):
         client.submit("probe", {"behavior": "ok"})
-        queue = client.queue()
-        assert set(queue["counts"]) == {
+        page = client.queue()
+        assert isinstance(page, QueuePage)
+        assert set(page.counts) == {
             "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED"
         }
-        assert queue["outstanding"] >= 0
+        assert page.outstanding >= 0
+
+    def test_queue_pagination_and_filtering(self, tmp_path):
+        # No pool: jobs stay PENDING, so the page contents are stable.
+        with ServiceHTTPServer(tmp_path / "idle", workers=0) as srv:
+            c = ServiceClient(srv.url)
+            ids = [c.submit("probe", {"behavior": "ok", "tag": i}).new[0]
+                   for i in range(5)]
+            c.submit_sweep(SIM_SWEEP)
+
+            page = c.status(kind="probe", limit=2, offset=1)
+            assert [j.id for j in page.jobs] == ids[1:3]
+            assert page.total == 5          # pre-window, filtered
+            assert page.limit == 2 and page.offset == 1
+            assert page.kind == "probe"
+            assert sum(page.counts.values()) == 9  # counts: whole queue
+
+            done = c.status(state="DONE")
+            assert done.total == 0 and not done.jobs
+
+            empty = c.queue(limit=0)
+            assert not empty.jobs and empty.outstanding == 9
 
     def test_job_view_roundtrips_payload(self, client):
         payload = {"n": 512, "nb": 64, "p": 2, "q": 2}
         receipt = client.submit("sim", payload)
-        view = client.job(receipt["new"][0])
-        assert view["kind"] == "sim"
-        assert view["payload"] == payload
+        view = client.job(receipt.new[0])
+        assert isinstance(view, JobView)
+        assert view.kind == "sim"
+        assert view.payload == payload
 
     def test_cancel_endpoint(self, tmp_path):
         # A server with no pool: jobs stay PENDING and can be cancelled.
         with ServiceHTTPServer(tmp_path / "idle", workers=0) as srv:
             c = ServiceClient(srv.url)
-            jid = c.submit("probe", {"behavior": "ok"})["new"][0]
+            jid = c.submit("probe", {"behavior": "ok"}).new[0]
             assert c.cancel(jid) is True
-            assert c.job(jid)["state"] == "CANCELLED"
+            assert c.job(jid).state == "CANCELLED"
             # A second cancel is a no-op, not an error.
             assert c.cancel(jid) is False
 
     def test_failed_job_reports_error_line(self, client):
         jid = client.submit("probe", {"behavior": "crash",
                                       "message": "kaboom"},
-                            max_retries=0)["new"][0]
+                            max_retries=0).new[0]
         view = client.wait([jid], timeout=60)[jid]
-        assert view["state"] == "FAILED" and view["ready"] is False
-        assert "kaboom" in view["error"]
-        assert "\n" not in view["error"]  # one-line over the wire
+        assert view.state == "FAILED" and view.ready is False
+        assert "kaboom" in view.job.error
+        assert "\n" not in view.job.error  # one-line over the wire
 
 
 class TestErrorContract:
     def test_unknown_kind_is_422(self, client):
-        with pytest.raises(ServiceError, match="unknown job kind"):
+        with pytest.raises(UnknownJobKindError, match="unknown job kind"):
             client.submit("frobnicate", {})
 
     def test_bad_run_config_is_400(self, client):
@@ -131,8 +166,28 @@ class TestErrorContract:
                 call("deadbeef0000")
 
     def test_unknown_route_is_404(self, client):
-        with pytest.raises(UnknownJobError, match="no such endpoint"):
+        with pytest.raises(UnknownRouteError, match="no such endpoint"):
             client._request("GET", "/v1/nope")
+
+    def test_error_bodies_carry_machine_readable_codes(self, server):
+        """The raw wire shape: {"error": {"code", "message"}}."""
+        cases = {
+            "/v1/jobs/deadbeef0000": (404, "unknown_job"),
+            "/v1/nope": (404, "unknown_route"),
+        }
+        for path, (status, code) in cases.items():
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + path, timeout=10)
+            assert excinfo.value.code == status
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["code"] == code
+            assert body["error"]["message"]
+
+    def test_bad_query_parameter_is_400_malformed(self, client):
+        with pytest.raises(MalformedRequestError, match="limit"):
+            client._request("GET", "/v1/queue?limit=banana")
+        with pytest.raises(MalformedRequestError, match="unknown state"):
+            client.status(state="SORTA_DONE")
 
     def test_malformed_json_body_is_400(self, server):
         request = urllib.request.Request(
@@ -143,10 +198,11 @@ class TestErrorContract:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
         body = json.loads(excinfo.value.read())
-        assert "error" in body and "\n" not in body["error"]
+        assert body["error"]["code"] == "malformed"
+        assert "\n" not in body["error"]["message"]
 
-    def test_submission_without_kind_or_sweep_is_422(self, client):
-        with pytest.raises(ServiceError, match="kind"):
+    def test_submission_without_kind_or_sweep_is_400(self, client):
+        with pytest.raises(MalformedRequestError, match="kind"):
             client._request("POST", "/v1/jobs", {"payload": {}})
 
     def test_unreachable_server_is_a_service_error(self):
@@ -164,7 +220,7 @@ class TestAsyncClient:
                                         poll_max=0.05,
                                         rng=random.Random(7))
                 receipt = await ac.submit("probe", {"behavior": "ok"})
-                await ac.wait(receipt["new"], timeout=0.3)
+                await ac.wait(receipt.new, timeout=0.3)
             with pytest.raises(WaitTimeout, match="1 job"):
                 asyncio.run(go())
 
@@ -184,6 +240,21 @@ class TestAsyncClient:
         assert all(0.5 <= d <= 1.5 for d in delays)
         assert max(delays) > 1.25 and min(delays) < 0.75  # actually jittered
 
+    def test_async_envelopes_roundtrip(self, tmp_path):
+        """Async client returns the same typed objects as the sync one."""
+        with ServiceHTTPServer(tmp_path / "idle", workers=0) as srv:
+            async def go():
+                ac = AsyncServiceClient(srv.url, rng=random.Random(5))
+                receipt = await ac.submit("probe", {"behavior": "ok"})
+                assert isinstance(receipt, SubmitReceipt)
+                view = await ac.job(receipt.new[0])
+                assert isinstance(view, JobView)
+                page = await ac.status(kind="probe", limit=1)
+                assert isinstance(page, QueuePage)
+                assert [j.id for j in page.jobs] == receipt.new
+                return True
+            assert asyncio.run(go()) is True
+
     def test_gather_many_jobs_concurrently(self, server):
         async def go():
             ac = AsyncServiceClient(server.url, poll_initial=0.02,
@@ -192,12 +263,12 @@ class TestAsyncClient:
                 ac.submit("probe", {"behavior": "ok", "tag": i})
                 for i in range(6)
             ])
-            ids = [r["new"][0] for r in receipts]
+            ids = [r.new[0] for r in receipts]
             views = await ac.wait(ids, timeout=60)
             return views
         views = asyncio.run(go())
         assert len(views) == 6
-        assert all(v["state"] == "DONE" for v in views.values())
+        assert all(v.state == "DONE" for v in views.values())
 
 
 def _start_serve(workdir) -> tuple[subprocess.Popen, str]:
@@ -226,16 +297,16 @@ class TestEndToEnd:
 
                 # 1. a 4-point sweep, gathered asynchronously
                 receipt = await ac.submit_sweep(SIM_SWEEP)
-                assert len(receipt["new"]) == 4
-                views = await ac.wait(receipt["job_ids"], timeout=120)
-                assert all(v["state"] == "DONE" for v in views.values())
-                assert all(v["result"]["score_tflops"] > 0
+                assert len(receipt.new) == 4
+                views = await ac.wait(receipt.job_ids, timeout=120)
+                assert all(v.state == "DONE" for v in views.values())
+                assert all(v.result["score_tflops"] > 0
                            for v in views.values())
 
                 # 2. resubmission: every point served from cache
                 again = await ac.submit_sweep(SIM_SWEEP)
-                assert len(again["cached"]) == 4
-                assert not again["new"] and not again["deduped"]
+                assert len(again.cached) == 4
+                assert not again.new and not again.deduped
 
                 # 3. cancel one fresh pending job, keep another
                 held = await ac.submit("probe", {"behavior": "sleep",
@@ -244,11 +315,11 @@ class TestEndToEnd:
                 # Cancel can race the resident pool's claim; accept
                 # either outcome but the state must be terminal or
                 # observable.
-                await ac.cancel(held["new"][0])
-                kept_views = await ac.wait(kept["new"], timeout=60)
-                assert kept_views[kept["new"][0]]["state"] == "DONE"
+                await ac.cancel(held.new[0])
+                kept_views = await ac.wait(kept.new, timeout=60)
+                assert kept_views[kept.new[0]].state == "DONE"
 
-                counts = (await ac.queue())["counts"]
+                counts = (await ac.queue()).counts
                 assert counts["DONE"] >= 9  # 4 ran + 4 cached + 1 kept
                 return True
 
@@ -269,12 +340,17 @@ class TestEndToEnd:
             assert rc == 0 and "submitted 2 new job(s)" in out
 
             client = ServiceClient(url)
-            ids = [j["id"] for j in client.status()["jobs"]]
+            ids = [j.id for j in client.status().jobs]
             client.wait(ids, timeout=120)
 
             rc = main(["status", "--url", url])
             out = capsys.readouterr().out
             assert rc == 0 and "2 done" in out and url in out
+
+            rc = main(["status", "--url", url, "--state", "DONE",
+                       "--limit", "1"])
+            out = capsys.readouterr().out
+            assert rc == 0 and "showing 1 of 2 matching" in out
 
             rc = main(["results", "--url", url, "--json"])
             out = capsys.readouterr().out
@@ -301,9 +377,9 @@ class TestEndToEnd:
         workdir = tmp_path / "svc"
         with ServiceHTTPServer(workdir, workers=0) as srv:
             jid = ServiceClient(srv.url).submit(
-                "sim", {"n": 512, "nb": 64, "p": 2, "q": 2})["new"][0]
+                "sim", {"n": 512, "nb": 64, "p": 2, "q": 2}).new[0]
         with ServiceHTTPServer(workdir, workers=2,
                                backoff_base=0.01) as srv:
             view = ServiceClient(srv.url).wait([jid], timeout=120)[jid]
-        assert view["state"] == "DONE"
-        assert view["result"]["n"] == 512
+        assert view.state == "DONE"
+        assert view.result["n"] == 512
