@@ -17,7 +17,10 @@ Batch service commands (see ``docs/service.md``):
                   with ``--url`` the pool becomes a *remote fleet
                   member* leasing jobs from a coordinator over HTTP.
 * ``serve``    -- run the JSON-over-HTTP front-end (plus an in-process
-                  worker pool) so remote clients share one queue.
+                  worker pool) so remote clients share one queue;
+                  ``--shards N`` (or ``--workdir`` repeated) fans the
+                  queue over several workdir shards.
+* ``shards``   -- per-shard queue depth and lease stats.
 * ``status``   -- job counts and per-job states (filter/paginate with
                   ``--state/--kind/--limit/--offset``).
 * ``results``  -- print results of completed jobs.
@@ -450,12 +453,23 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.http.server import ServiceHTTPServer
 
+    workdirs = args.workdir or [".repro-service"]
+    if args.shards < 1:
+        raise ConfigError(f"--shards must be >= 1, got {args.shards}")
+    if len(workdirs) > 1 and args.shards != 1:
+        raise ConfigError(
+            "pass either --shards N or --workdir repeated, not both"
+        )
     server = ServiceHTTPServer(
-        args.workdir, host=args.host, port=args.port,
+        workdirs[0], host=args.host, port=args.port,
         workers=args.workers, backoff_base=args.backoff, quiet=args.quiet,
+        shards=args.shards,
+        shard_workdirs=workdirs if len(workdirs) > 1 else None,
     )
+    nshards = server.service.nshards
+    shard_note = f" across {nshards} shard(s)" if nshards > 1 else ""
     print(f"serving {server.service.workdir} on {server.url} "
-          f"with {args.workers} worker slot(s)", flush=True)
+          f"with {args.workers} worker slot(s){shard_note}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -466,10 +480,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_service_args(p: argparse.ArgumentParser,
-                      remote: bool = False) -> None:
-    p.add_argument("--workdir", default=".repro-service",
-                   help="service state directory (queue + cache)")
+def _cmd_shards(args: argparse.Namespace) -> int:
+    """Per-shard depth/lease figures, local or from a remote healthz."""
+    client = _remote_client(args)
+    if client is not None:
+        health = client.healthz()
+        stats = health.get("shards", [])
+        where = args.url
+    else:
+        from .service import Service
+
+        service = Service(args.workdir)
+        stats = service.shard_stats()
+        where = f"workdir {service.workdir}"
+    degraded = [s for s in stats if not s.get("ok", False)]
+    print(f"{where}: {len(stats)} shard(s)"
+          + (f", {len(degraded)} DEGRADED" if degraded else ""))
+    print(f"{'shard':<7}{'pending':<9}{'running':<9}{'done':<7}"
+          f"{'failed':<8}{'leases':<8}workdir")
+    for s in stats:
+        if not s.get("ok", False):
+            print(f"{s['index']:<7}{'-':<9}{'-':<9}{'-':<7}{'-':<8}{'-':<8}"
+                  f"{s['workdir']}  DEGRADED: {s.get('error', '')[:80]}")
+            continue
+        c = s["counts"]
+        print(f"{s['index']:<7}{c['PENDING']:<9}{c['RUNNING']:<9}"
+              f"{c['DONE']:<7}{c['FAILED']:<8}{s['leases']:<8}"
+              f"{s['workdir']}")
+    return 1 if degraded else 0
+
+
+def _add_service_args(p: argparse.ArgumentParser, remote: bool = False,
+                      multi_workdir: bool = False) -> None:
+    if multi_workdir:
+        p.add_argument("--workdir", action="append", default=None,
+                       help="service state directory (queue + cache); "
+                            "repeat to shard the queue over several "
+                            "explicit directories")
+    else:
+        p.add_argument("--workdir", default=".repro-service",
+                       help="service state directory (queue + cache)")
     if remote:
         p.add_argument("--url", default="",
                        help="operate on a remote `repro serve` instance "
@@ -597,7 +647,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="serve the queue over HTTP (see docs/service.md)"
     )
-    _add_service_args(p_serve)
+    _add_service_args(p_serve, multi_workdir=True)
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="fan the queue over this many workdir "
+                              "shards under --workdir (1 = plain store)")
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="interface to bind")
     p_serve.add_argument("--port", type=int, default=8400,
@@ -631,6 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--json", action="store_true",
                        help="dump results as JSON")
     p_res.set_defaults(fn=_cmd_results)
+
+    p_shards = sub.add_parser(
+        "shards", help="per-shard queue depth and lease stats"
+    )
+    _add_service_args(p_shards, remote=True)
+    p_shards.set_defaults(fn=_cmd_shards)
 
     p_can = sub.add_parser("cancel", help="cancel pending jobs")
     _add_service_args(p_can, remote=True)

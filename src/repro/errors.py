@@ -112,6 +112,19 @@ class UnknownRouteError(ServiceError):
     http_status = 404
 
 
+class ShardUnavailableError(ServiceError):
+    """A write routed to a shard whose SQLite file cannot be reached.
+
+    Other shards keep serving; the caller may retry once the shard
+    recovers (a hung writer released the file lock, the disk came
+    back).  Reads and sweeps never raise this -- they skip the wedged
+    shard and serve what is reachable.
+    """
+
+    code = "shard_unavailable"
+    http_status = 503
+
+
 class LeaseConflictError(ServiceError):
     """A lease operation named a job held by a different live lease."""
 

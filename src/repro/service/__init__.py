@@ -23,6 +23,12 @@ from .api import Service, SubmitReceipt
 from .cache import ResultCache, payload_key
 from .fleet import FleetSummary, RemoteWorkerPool
 from .jobs import Job, JobState, Lease, new_job_id
+from .shard import (
+    ShardedStore,
+    detect_shard_workdirs,
+    shard_index,
+    shard_workdirs,
+)
 from .store import JobStore
 from .sweep import Sweep, expand_grid
 from .views import JobView, QueuePage, ResultView
@@ -41,12 +47,16 @@ __all__ = [
     "ResultCache",
     "ResultView",
     "Service",
+    "ShardedStore",
     "SubmitReceipt",
     "Sweep",
     "WorkerOptions",
     "WorkerPool",
+    "detect_shard_workdirs",
     "expand_grid",
     "new_job_id",
     "payload_key",
     "register_runner",
+    "shard_index",
+    "shard_workdirs",
 ]

@@ -17,11 +17,14 @@ Submission is where result reuse happens:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import MalformedRequestError, UnknownJobKindError
 from .cache import ResultCache, payload_key
 from .jobs import UNCACHED_KINDS, Job, JobState, Lease, new_job_id
+from .shard import (ShardedStore, detect_shard_workdirs,
+                    shard_workdirs as _shard_layout)
 from .store import JobStore
 from .sweep import Sweep
 from .views import JobView, QueuePage, ResultView
@@ -72,14 +75,58 @@ class SubmitReceipt:
 
 
 class Service:
-    """One service instance rooted at a workdir (queue + cache on disk)."""
+    """One service instance rooted at a workdir (queue + cache on disk).
+
+    ``shards > 1`` (or an explicit ``shard_workdirs`` list) fans the
+    queue over N workdir shards behind a
+    :class:`~repro.service.shard.ShardedStore`; the result cache stays
+    single and shared (it is content-addressed, so shard routing never
+    affects it).  ``shards=1`` with no explicit list is the historical
+    single-:class:`JobStore` service, bit-for-bit -- and a pre-shard
+    workdir *is* shard 0 of 1, so no migration step exists.
+    """
 
     def __init__(self, workdir=DEFAULT_WORKDIR,
-                 backoff_base: float = 0.5) -> None:
+                 backoff_base: float = 0.5, shards: int = 1,
+                 shard_workdirs=None,
+                 busy_timeout: float = 30.0) -> None:
         self.workdir = os.fspath(workdir)
-        self.store = JobStore(self.workdir)
+        if shard_workdirs is None and shards == 1:
+            # Respect a shards/ layout already on disk: reopening a
+            # sharded workdir without --shards must not strand the
+            # shard queues.
+            detected = detect_shard_workdirs(self.workdir)
+            if detected != [self.workdir]:
+                shard_workdirs = detected
+        if shard_workdirs is None and shards > 1:
+            shard_workdirs = _shard_layout(self.workdir, shards)
+        if shard_workdirs is not None:
+            self.store = ShardedStore(shard_workdirs,
+                                      busy_timeout=busy_timeout)
+        else:
+            self.store = JobStore(self.workdir,
+                                  busy_timeout=busy_timeout)
         self.cache = ResultCache(os.path.join(self.workdir, "cache"))
         self.backoff_base = backoff_base
+
+    @property
+    def nshards(self) -> int:
+        """How many shards back the queue (1 for a plain store)."""
+        return getattr(self.store, "nshards", 1)
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard depth/lease figures (one entry even when unsharded)."""
+        if isinstance(self.store, ShardedStore):
+            return self.store.shard_stats()
+        counts = self.store.counts()
+        leases = self.store.active_leases()
+        return [{
+            "index": 0, "workdir": self.store.workdir, "ok": True,
+            "counts": counts,
+            "outstanding": counts[JobState.PENDING.value]
+            + counts[JobState.RUNNING.value],
+            "leases": len(leases),
+        }]
 
     # -- submission ------------------------------------------------------
 
@@ -277,6 +324,40 @@ class Service:
             options = WorkerOptions(backoff_base=self.backoff_base)
         if overrides:
             options = options.replace(**overrides)
-        pool = WorkerPool.from_options(self.workdir, options)
-        return pool.run(drain=options.drain,
-                        max_seconds=options.max_seconds)
+        if not isinstance(self.store, ShardedStore):
+            pool = WorkerPool.from_options(self.workdir, options)
+            return pool.run(drain=options.drain,
+                            max_seconds=options.max_seconds)
+        # One pool per shard, run concurrently, all writing the shared
+        # root cache so a result computed on one shard fulfils cached
+        # twins everywhere.  Each pool keeps the full ``n`` slots: shard
+        # queues are hash-partitioned, so capping slots per shard would
+        # idle workers whenever keys cluster.
+        summaries: list[PoolSummary | None] = [None] * self.store.nshards
+
+        def _drain(i: int, workdir: str) -> None:
+            pool = WorkerPool.from_options(
+                workdir, options.replace(name=f"{options.name}-s{i}"),
+                cache_dir=self.cache.root,
+            )
+            summaries[i] = pool.run(drain=options.drain,
+                                    max_seconds=options.max_seconds)
+
+        threads = [
+            threading.Thread(target=_drain, args=(i, wd), daemon=True)
+            for i, wd in enumerate(self.store.workdirs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = PoolSummary()
+        for s in summaries:
+            if s is None:
+                continue
+            merged.completed += s.completed
+            merged.failed += s.failed
+            merged.retried += s.retried
+            merged.fulfilled_from_cache += s.fulfilled_from_cache
+        merged.counts = self.store.counts()
+        return merged

@@ -45,6 +45,7 @@ from ...errors import (
     LeaseExpiredError,
     MalformedRequestError,
     ServiceError,
+    ShardUnavailableError,
     UnknownJobError,
     UnknownJobKindError,
     UnknownRouteError,
@@ -60,7 +61,7 @@ ERRORS_BY_CODE = {
     for cls in (
         ConfigError, MalformedRequestError, UnknownJobError,
         UnknownRouteError, UnknownJobKindError, LeaseConflictError,
-        LeaseExpiredError, ServiceError,
+        LeaseExpiredError, ShardUnavailableError, ServiceError,
     )
 }
 

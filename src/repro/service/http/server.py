@@ -33,9 +33,9 @@ Error contract: every error body is
 stable machine-readable identifier the raised
 :class:`~repro.errors.ReproError` subclass carries (``bad_config`` 400,
 ``malformed`` 400, ``unknown_job`` / ``unknown_route`` 404,
-``unknown_kind`` 422, ``conflict`` / ``lease_expired`` 409); the HTTP
-status comes from the same class.  Clients re-raise the matching typed
-exception by ``code``.
+``unknown_kind`` 422, ``conflict`` / ``lease_expired`` 409,
+``shard_unavailable`` 503); the HTTP status comes from the same class.
+Clients re-raise the matching typed exception by ``code``.
 """
 
 from __future__ import annotations
@@ -210,10 +210,15 @@ class _Handler(BaseHTTPRequestHandler):
         path, _, query = self.path.partition("?")
         path = path.rstrip("/") or "/"
         if path == "/v1/healthz":
+            shards = self.service.shard_stats()
+            degraded = [s["workdir"] for s in shards if not s["ok"]]
             return 200, {
-                "ok": True,
+                "ok": not degraded,
                 "workdir": self.service.workdir,
                 "workers": getattr(self.server, "workers", 0),
+                "nshards": self.service.nshards,
+                "shards": shards,
+                "degraded": degraded,
             }
         if path in ("/v1/queue", "/v1/jobs"):
             return 200, self._queue_page(query)
@@ -327,10 +332,15 @@ class ServiceHTTPServer:
 
     def __init__(self, workdir, host: str = "127.0.0.1", port: int = 0,
                  workers: int = 0, backoff_base: float = 0.5,
-                 poll_interval: float = 0.02, quiet: bool = True) -> None:
+                 poll_interval: float = 0.02, quiet: bool = True,
+                 shards: int = 1, shard_workdirs=None,
+                 busy_timeout: float = 30.0) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
-        self.service = Service(workdir, backoff_base=backoff_base)
+        self.service = Service(workdir, backoff_base=backoff_base,
+                               shards=shards,
+                               shard_workdirs=shard_workdirs,
+                               busy_timeout=busy_timeout)
         self.workers = workers
         self.poll_interval = poll_interval
         self._httpd = _Server((host, port), _Handler)
@@ -339,7 +349,7 @@ class ServiceHTTPServer:
         self._httpd.workers = workers
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: threading.Thread | None = None
-        self._pool_thread: threading.Thread | None = None
+        self._pool_threads: list[threading.Thread] = []
         self._pool_stop = threading.Event()
 
     @property
@@ -349,20 +359,28 @@ class ServiceHTTPServer:
     # -- lifecycle -------------------------------------------------------
 
     def _start_pool(self) -> None:
-        if self.workers < 1 or self._pool_thread is not None:
+        if self.workers < 1 or self._pool_threads:
             return
-        pool = WorkerPool(
-            self.service.workdir, nworkers=self.workers,
-            poll_interval=self.poll_interval,
-            backoff_base=self.service.backoff_base, name="serve",
-        )
+        # One resident pool per shard workdir (a plain workdir is its
+        # own single shard); all pools write the shared root cache.
+        workdirs = getattr(self.service.store, "workdirs",
+                           [self.service.workdir])
         self._pool_stop.clear()
-        self._pool_thread = threading.Thread(
-            target=pool.run,
-            kwargs={"drain": False, "stop": self._pool_stop},
-            name="repro-serve-pool", daemon=True,
-        )
-        self._pool_thread.start()
+        for i, workdir in enumerate(workdirs):
+            pool = WorkerPool(
+                workdir, nworkers=self.workers,
+                poll_interval=self.poll_interval,
+                backoff_base=self.service.backoff_base,
+                name=f"serve-s{i}" if len(workdirs) > 1 else "serve",
+                cache_dir=self.service.cache.root,
+            )
+            thread = threading.Thread(
+                target=pool.run,
+                kwargs={"drain": False, "stop": self._pool_stop},
+                name=f"repro-serve-pool-{i}", daemon=True,
+            )
+            thread.start()
+            self._pool_threads.append(thread)
 
     def start(self) -> "ServiceHTTPServer":
         """Serve on a background thread (returns immediately)."""
@@ -388,10 +406,11 @@ class ServiceHTTPServer:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10.0)
             self._serve_thread = None
-        if self._pool_thread is not None:
+        if self._pool_threads:
             self._pool_stop.set()
-            self._pool_thread.join(timeout=30.0)
-            self._pool_thread = None
+            for thread in self._pool_threads:
+                thread.join(timeout=30.0)
+            self._pool_threads = []
 
     def __enter__(self) -> "ServiceHTTPServer":
         return self.start()

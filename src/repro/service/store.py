@@ -71,11 +71,12 @@ _PLACEHOLDERS = ", ".join("?" for _ in COLUMNS)
 class JobStore:
     """Queue of :class:`~repro.service.jobs.Job` rows under a workdir."""
 
-    def __init__(self, workdir) -> None:
+    def __init__(self, workdir, busy_timeout: float = 30.0) -> None:
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
         self.db_path = os.path.join(self.workdir, "jobs.sqlite")
         self.events_path = os.path.join(self.workdir, "events.jsonl")
+        self.busy_timeout = busy_timeout
         self._local = threading.local()
         self._events_lock = threading.Lock()
         self._connection()  # create the schema eagerly
@@ -90,9 +91,10 @@ class JobStore:
             # child would share the parent's file locks), and sqlite3
             # connections refuse cross-thread use; open fresh per
             # (process, thread).
-            conn = sqlite3.connect(self.db_path, timeout=30.0)
+            conn = sqlite3.connect(self.db_path, timeout=self.busy_timeout)
             conn.isolation_level = None  # explicit transactions only
-            conn.execute("PRAGMA busy_timeout = 30000")
+            conn.execute("PRAGMA busy_timeout = %d"
+                         % max(0, int(self.busy_timeout * 1000)))
             conn.executescript(_SCHEMA)
             have = {row[1] for row in conn.execute("PRAGMA table_info(jobs)")}
             for column, ddl in _MIGRATIONS:
@@ -272,8 +274,9 @@ class JobStore:
     # -- leases (remote workers) -----------------------------------------
 
     def claim_batch(self, worker: str, limit: int = 1, ttl: float = 60.0,
-                    now: float | None = None) -> tuple[Lease | None,
-                                                       list[Job]]:
+                    now: float | None = None,
+                    lease_id: str | None = None) -> tuple[Lease | None,
+                                                          list[Job]]:
         """Atomically lease up to ``limit`` ready PENDING jobs to ``worker``.
 
         The batch and its lease are created in one transaction, so two
@@ -281,6 +284,10 @@ class JobStore:
         job.  Returns ``(None, [])`` when nothing is ready -- no empty
         lease is minted.  Expired leases are swept first, so a dead
         worker's jobs become claimable by the very call that replaces it.
+
+        ``lease_id`` lets a sharded coordinator span one logical lease
+        over several stores: each store records its own lease row under
+        the caller's id.  Left ``None``, a fresh id is minted.
         """
         now = time.time() if now is None else now
         self.expire_leases(now=now)
@@ -295,8 +302,8 @@ class JobStore:
             if not rows:
                 conn.execute("COMMIT")
                 return None, []
-            lease = Lease(id=new_lease_id(), worker=worker, created=now,
-                          expires=now + ttl)
+            lease = Lease(id=lease_id or new_lease_id(), worker=worker,
+                          created=now, expires=now + ttl)
             conn.execute(
                 "INSERT INTO leases (id, worker, created, expires)"
                 " VALUES (?, ?, ?, ?)",
@@ -528,6 +535,16 @@ class JobStore:
             return None
         return Lease(id=row[0], worker=row[1], created=row[2],
                      expires=row[3])
+
+    def active_leases(self, now: float | None = None) -> list[Lease]:
+        """Leases that have not yet lapsed, oldest first."""
+        now = time.time() if now is None else now
+        rows = self._connection().execute(
+            "SELECT id, worker, created, expires FROM leases"
+            " WHERE expires > ? ORDER BY created, id", (now,),
+        ).fetchall()
+        return [Lease(id=r[0], worker=r[1], created=r[2], expires=r[3])
+                for r in rows]
 
     # -- reads -----------------------------------------------------------
 

@@ -213,7 +213,7 @@ RUNNERS.update({
 # ---------------------------------------------------------------------------
 
 
-def _child_main(workdir: str, job: Job, conn) -> None:
+def _child_main(cache_dir: str, job: Job, conn) -> None:
     """Run one job in a dedicated process; report through ``conn``.
 
     On success the result is written to the cache *from the child* (only
@@ -224,9 +224,7 @@ def _child_main(workdir: str, job: Job, conn) -> None:
     try:
         result = runner_for(job.kind)(job.payload, job)
         key = payload_key(job.kind, job.payload)
-        ResultCache(os.path.join(workdir, "cache")).put(
-            key, job.kind, job.payload, result
-        )
+        ResultCache(cache_dir).put(key, job.kind, job.payload, result)
         conn.send(("ok", key))
     except BaseException:
         try:
@@ -278,12 +276,19 @@ class WorkerPool:
         poll_interval: float = 0.02,
         backoff_base: float = 0.5,
         name: str = "pool",
+        cache_dir=None,
     ) -> None:
         if nworkers < 1:
             raise ServiceError(f"nworkers must be >= 1, got {nworkers}")
         self.workdir = os.fspath(workdir)
         self.store = JobStore(self.workdir)
-        self.cache = ResultCache(os.path.join(self.workdir, "cache"))
+        # A sharded service passes one shared cache_dir to every shard's
+        # pool so cache hits cross shard boundaries (the cache is keyed
+        # by content, not by shard).
+        self.cache = ResultCache(
+            os.path.join(self.workdir, "cache")
+            if cache_dir is None else os.fspath(cache_dir)
+        )
         self.nworkers = nworkers
         self.poll_interval = poll_interval
         self.backoff_base = backoff_base
@@ -295,11 +300,13 @@ class WorkerPool:
         )
 
     @classmethod
-    def from_options(cls, workdir, options: WorkerOptions) -> "WorkerPool":
+    def from_options(cls, workdir, options: WorkerOptions,
+                     cache_dir=None) -> "WorkerPool":
         return cls(
             workdir, nworkers=options.n,
             poll_interval=options.poll_interval,
             backoff_base=options.backoff_base, name=options.name,
+            cache_dir=cache_dir,
         )
 
     # -- outcome handling ------------------------------------------------
@@ -365,7 +372,7 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_child_main,
-            args=(self.workdir, job, child_conn),
+            args=(self.cache.root, job, child_conn),
             name=f"{self.name}-{job.id}",
             daemon=True,
         )

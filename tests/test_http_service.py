@@ -28,6 +28,8 @@ import pytest
 from repro.cli import main
 from repro.errors import (
     ConfigError,
+    LeaseConflictError,
+    LeaseExpiredError,
     MalformedRequestError,
     ServiceError,
     UnknownJobError,
@@ -209,6 +211,78 @@ class TestErrorContract:
         dead = ServiceClient("http://127.0.0.1:9", timeout=2.0)
         with pytest.raises(ServiceError, match="cannot reach"):
             dead.healthz()
+
+
+@pytest.fixture(params=[1, 3], ids=["1shard", "3shards"])
+def idle_server(request, tmp_path):
+    """No-pool servers over one shard and over three.
+
+    The v1 error contract must be indistinguishable between them: a
+    client cannot tell whether ``unknown_job``, ``lease_expired``, or
+    ``conflict`` came from a plain store or crossed a ShardedStore.
+    """
+    with ServiceHTTPServer(tmp_path / "svc", workers=0,
+                           shards=request.param) as srv:
+        yield srv
+
+
+class TestErrorContractAcrossShards:
+    def test_healthz_reports_the_shard_count(self, idle_server):
+        health = ServiceClient(idle_server.url).healthz()
+        assert health["nshards"] == idle_server.service.nshards
+        assert len(health["shards"]) == health["nshards"]
+        assert health["degraded"] == []
+
+    def test_unknown_job_is_404_unknown_job(self, idle_server):
+        c = ServiceClient(idle_server.url)
+        for call in (c.job, c.result, c.cancel):
+            with pytest.raises(UnknownJobError, match="no such job"):
+                call("deadbeef0000")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                idle_server.url + "/v1/jobs/deadbeef0000", timeout=10)
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "unknown_job"
+
+    def test_dead_lease_is_409_lease_expired(self, idle_server):
+        c = ServiceClient(idle_server.url)
+        with pytest.raises(LeaseExpiredError):
+            c.heartbeat("nosuchlease")
+        request = urllib.request.Request(
+            idle_server.url + "/v1/leases/nosuchlease/heartbeat",
+            data=json.dumps({"ttl": 30.0}).encode(),
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 409
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "lease_expired"
+
+    def test_wrong_lease_on_complete_is_409_conflict(self, idle_server):
+        c = ServiceClient(idle_server.url)
+        # Enough jobs that a 3-shard store has claims on >1 shard, so
+        # the conflict genuinely round-trips through ShardedStore.
+        ids = [c.submit("probe", {"behavior": "ok", "tag": i}).new[0]
+               for i in range(6)]
+        lease, claimed = c.claim("w1", n=6, ttl=30.0)
+        assert {j.id for j in claimed} == set(ids)
+        with pytest.raises(LeaseConflictError):
+            c.complete(ids[0], "wrong-lease", {"ok": True})
+        request = urllib.request.Request(
+            idle_server.url + f"/v1/jobs/{ids[0]}/complete",
+            data=json.dumps({"lease": "zzz", "result": {}}).encode(),
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 409
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "conflict"
+        # The right lease still works afterwards, on every shard.
+        for jid in ids:
+            assert c.complete(jid, lease.id, {"ok": True}).state == "DONE"
 
 
 class TestAsyncClient:
