@@ -323,6 +323,7 @@ def _cmd_workers(args: argparse.Namespace) -> int:
     options = WorkerOptions(
         n=args.n, drain=not args.no_drain, max_seconds=args.max_seconds,
         backoff_base=args.backoff, lease_ttl=args.ttl,
+        inline_max=args.inline_max,
     )
     if getattr(args, "url", None):
         from .service.fleet import RemoteWorkerPool
@@ -394,16 +395,28 @@ def _cmd_results(args: argparse.Namespace) -> int:
     import json as _json
 
     client = _remote_client(args)
+    service = None
     if client is not None:
         ids = args.ids or [j.id for j in client.status(state="DONE").jobs]
-        views = {jid: client.result(jid) for jid in ids}
     else:
         from .service import JobState, Service
 
         service = Service(args.workdir)
         ids = args.ids or [j.id for j in service.store.list(JobState.DONE)]
+    if args.output:
+        return _write_results_file(args.output, ids, client, service)
+    if client is not None:
+        views = {jid: client.result(jid) for jid in ids}
+        results = {jid: view.result for jid, view in views.items()}
+    else:
+        # A local view may defer a large result to a stream descriptor;
+        # resolve it from the cache (local reads are not size-bounded).
         views = service.results(ids)
-    results = {jid: view.result for jid, view in views.items()}
+        results = {
+            jid: (service.result(jid) if view.stream is not None
+                  else view.result)
+            for jid, view in views.items()
+        }
     if args.json:
         print(_json.dumps(results, indent=2, sort_keys=True))
         return 0
@@ -420,6 +433,54 @@ def _cmd_results(args: argparse.Namespace) -> int:
             for k in sorted(result) if not isinstance(result[k], (list, dict))
         )
         print(f"{jid}: {line}")
+    return 0 if missing == 0 else 1
+
+
+def _write_results_file(output: str, ids: list, client, service) -> int:
+    """Stream results into ``output`` as one JSON object keyed by job id.
+
+    Never holds a whole result in memory: remote results are
+    chunk-downloaded straight into the file via
+    ``client.download_result``; local ones are copied file-to-file from
+    the result cache.  Jobs without a result yet are written as
+    ``null`` and counted toward a non-zero exit.
+    """
+    import json as _json
+    import shutil as _shutil
+
+    missing = 0
+    with open(output, "wb") as fh:
+        fh.write(b"{")
+        first = True
+        for jid in ids:
+            if not first:
+                fh.write(b",")
+            first = False
+            fh.write(_json.dumps(jid).encode("utf-8") + b":")
+            if client is not None:
+                if client.download_result(jid, fh) is None:
+                    fh.write(b"null")
+                    missing += 1
+                continue
+            from .service import JobState
+
+            job = service.store.get(jid)
+            opened = (service.cache.open_result(job.result_key)
+                      if job.state is JobState.DONE and job.result_key
+                      else None)
+            if opened is None:
+                fh.write(b"null")
+                missing += 1
+                continue
+            src, _size = opened
+            try:
+                _shutil.copyfileobj(src, fh)
+            finally:
+                src.close()
+        fh.write(b"}")
+    done = len(ids) - missing
+    note = f" ({missing} not ready)" if missing else ""
+    print(f"wrote {done} result(s) to {output}{note}")
     return 0 if missing == 0 else 1
 
 
@@ -465,6 +526,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers, backoff_base=args.backoff, quiet=args.quiet,
         shards=args.shards,
         shard_workdirs=workdirs if len(workdirs) > 1 else None,
+        inline_max=args.inline_max,
     )
     nshards = server.service.nshards
     shard_note = f" across {nshards} shard(s)" if nshards > 1 else ""
@@ -642,6 +704,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--name", default="",
                         help="worker name reported to the coordinator "
                              "(default: hostname-pid)")
+    p_work.add_argument("--inline-max", type=int, default=1024 * 1024,
+                        help="results larger than this many encoded bytes "
+                             "are chunk-streamed to the coordinator "
+                             "(remote --url mode)")
     p_work.set_defaults(fn=_cmd_workers)
 
     p_serve = sub.add_parser(
@@ -662,6 +728,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retry backoff base (seconds)")
     p_serve.add_argument("--verbose", dest="quiet", action="store_false",
                          help="log every request to stderr")
+    p_serve.add_argument("--inline-max", type=int, default=1024 * 1024,
+                         help="results larger than this many encoded "
+                              "bytes are served as chunk streams instead "
+                              "of inline JSON")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_stat = sub.add_parser("status", help="job counts and per-job states")
@@ -683,6 +753,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("ids", nargs="*", help="job ids (default: all DONE)")
     p_res.add_argument("--json", action="store_true",
                        help="dump results as JSON")
+    p_res.add_argument("-o", "--output", default="",
+                       help="stream results into FILE as JSON instead of "
+                            "printing (large results are chunk-downloaded, "
+                            "never held in memory)")
     p_res.set_defaults(fn=_cmd_results)
 
     p_shards = sub.add_parser(

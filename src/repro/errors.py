@@ -125,6 +125,24 @@ class ShardUnavailableError(ServiceError):
     http_status = 503
 
 
+class ChunkOffsetError(ServiceError):
+    """A streamed-result chunk arrived out of order.
+
+    The message names the offset the server expected next; a client may
+    restart the upload from offset 0, which discards any staged prefix.
+    """
+
+    code = "bad_offset"
+    http_status = 422
+
+
+class ChunkIntegrityError(ServiceError):
+    """A streamed-result chunk (or the finished stream) failed its sha256."""
+
+    code = "bad_chunk"
+    http_status = 422
+
+
 class LeaseConflictError(ServiceError):
     """A lease operation named a job held by a different live lease."""
 

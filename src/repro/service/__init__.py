@@ -30,13 +30,28 @@ from .shard import (
     shard_workdirs,
 )
 from .store import JobStore
+from .streams import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_INLINE_MAX,
+    MAX_CHUNK_BYTES,
+    Chunk,
+    ChunkAssembler,
+    decode_result,
+    encode_result,
+    iter_chunks,
+)
 from .sweep import Sweep, expand_grid
 from .views import JobView, QueuePage, ResultView
 from .workers import PoolSummary, WorkerOptions, WorkerPool, register_runner
 
 __all__ = [
+    "Chunk",
+    "ChunkAssembler",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_INLINE_MAX",
     "FleetSummary",
     "Job",
+    "MAX_CHUNK_BYTES",
     "JobState",
     "JobStore",
     "JobView",
@@ -52,8 +67,11 @@ __all__ = [
     "Sweep",
     "WorkerOptions",
     "WorkerPool",
+    "decode_result",
     "detect_shard_workdirs",
+    "encode_result",
     "expand_grid",
+    "iter_chunks",
     "new_job_id",
     "payload_key",
     "register_runner",

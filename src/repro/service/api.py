@@ -20,12 +20,13 @@ import os
 import threading
 from dataclasses import dataclass, field
 
-from ..errors import MalformedRequestError, UnknownJobKindError
+from ..errors import MalformedRequestError, ServiceError, UnknownJobKindError
 from .cache import ResultCache, payload_key
 from .jobs import UNCACHED_KINDS, Job, JobState, Lease, new_job_id
 from .shard import (ShardedStore, detect_shard_workdirs,
                     shard_workdirs as _shard_layout)
 from .store import JobStore
+from .streams import DEFAULT_INLINE_MAX, MAX_CHUNK_BYTES
 from .sweep import Sweep
 from .views import JobView, QueuePage, ResultView
 from .workers import RUNNERS, PoolSummary, WorkerOptions, WorkerPool
@@ -89,7 +90,8 @@ class Service:
     def __init__(self, workdir=DEFAULT_WORKDIR,
                  backoff_base: float = 0.5, shards: int = 1,
                  shard_workdirs=None,
-                 busy_timeout: float = 30.0) -> None:
+                 busy_timeout: float = 30.0,
+                 inline_max: int = DEFAULT_INLINE_MAX) -> None:
         self.workdir = os.fspath(workdir)
         if shard_workdirs is None and shards == 1:
             # Respect a shards/ layout already on disk: reopening a
@@ -106,7 +108,9 @@ class Service:
         else:
             self.store = JobStore(self.workdir,
                                   busy_timeout=busy_timeout)
-        self.cache = ResultCache(os.path.join(self.workdir, "cache"))
+        self.inline_max = inline_max
+        self.cache = ResultCache(os.path.join(self.workdir, "cache"),
+                                 inline_max=inline_max)
         self.backoff_base = backoff_base
 
     @property
@@ -233,14 +237,29 @@ class Service:
         return record["result"] if record else None
 
     def result_view(self, job_id: str) -> ResultView:
-        """The full :class:`ResultView` envelope for one job."""
+        """The full :class:`ResultView` envelope for one job.
+
+        Results whose canonical encoding is at most ``inline_max`` bytes
+        travel inline (the historical shape, byte-for-byte); larger ones
+        come back with ``result=None`` plus a ``stream`` descriptor
+        (``{"size", "sha256"}``) that clients resolve through the ranged
+        chunk endpoint -- the coordinator never loads the result.
+        """
         job = self.store.get(job_id)
-        result = None
-        if job.state is JobState.DONE:
-            record = self.cache.get(job.result_key)
-            result = record["result"] if record else None
-        return ResultView(job=JobView.from_job(job),
-                          ready=result is not None, result=result)
+        view = JobView.from_job(job)
+        if job.state is not JobState.DONE:
+            return ResultView(job=view, ready=False, result=None)
+        info = self.cache.result_info(job.result_key)
+        if info is None:
+            return ResultView(job=view, ready=False, result=None)
+        if info["size"] > self.inline_max:
+            return ResultView(job=view, ready=True, result=None,
+                              stream={"size": info["size"],
+                                      "sha256": info["sha256"]})
+        record = self.cache.get(job.result_key)
+        if record is None:
+            return ResultView(job=view, ready=False, result=None)
+        return ResultView(job=view, ready=True, result=record["result"])
 
     def results(self, job_ids=None) -> dict[str, ResultView]:
         """Map of job id -> :class:`ResultView` (``ready=False`` rows
@@ -305,6 +324,77 @@ class Service:
             job_id, lease_id, str(error),
             backoff_base=self.backoff_base,
         )
+
+    # -- streamed results ------------------------------------------------
+
+    def stage_result_chunk(self, job_id: str, lease_id: str, offset: int,
+                           sha256: str, data: bytes) -> int:
+        """Spool one uploaded result chunk; returns total bytes staged."""
+        if not lease_id:
+            raise MalformedRequestError("lease id must be non-empty")
+        if offset < 0:
+            raise MalformedRequestError(f"offset must be >= 0, got {offset}")
+        if len(data) > MAX_CHUNK_BYTES:
+            raise MalformedRequestError(
+                f"chunk of {len(data)} bytes exceeds the"
+                f" {MAX_CHUNK_BYTES}-byte cap"
+            )
+        return self.store.stage_chunk(job_id, lease_id, offset, sha256, data)
+
+    def finish_result(self, job_id: str, lease_id: str, size: int,
+                      sha256: str) -> Job:
+        """Promote a verified staged upload and mark the job DONE.
+
+        The spool is moved (never read) into the cache as a blob-backed
+        record, then ``complete_leased`` applies the same lease guard as
+        the inline path.  Like the inline path, the cache write is
+        content-addressed and idempotent, so a lease lost at the last
+        moment wastes nothing but the late worker's upload.
+        """
+        path = self.store.finish_staged(job_id, lease_id, size, sha256)
+        job = self.store.get(job_id)
+        key = payload_key(job.kind, job.payload)
+        try:
+            # The stream must be a JSON *object* to be a result; one
+            # byte tells us without loading it.
+            with open(path, "rb") as fh:
+                first = fh.read(1)
+            if first != b"{":
+                raise MalformedRequestError("result must be a JSON object")
+            self.cache.put_file(key, job.kind, job.payload, path,
+                                size=size, sha256=sha256)
+        except BaseException:
+            self.store.discard_staged(job_id)
+            raise
+        return self.store.complete_leased(job_id, lease_id, key)
+
+    def read_result_chunk(self, job_id: str, offset: int,
+                          length: int) -> bytes:
+        """One ranged read of a DONE job's result bytes.
+
+        Serves from the cache's blob (or the re-encoded inline record)
+        with a seek + bounded read -- at most ``min(length,
+        MAX_CHUNK_BYTES)`` bytes are ever in memory.  Reads past the end
+        return ``b""``.
+        """
+        if offset < 0:
+            raise MalformedRequestError(f"offset must be >= 0, got {offset}")
+        if length < 1:
+            raise MalformedRequestError(f"length must be >= 1, got {length}")
+        job = self.store.get(job_id)
+        if job.state is not JobState.DONE:
+            raise ServiceError(
+                f"job {job_id} has no result yet (state {job.state.value})"
+            )
+        opened = self.cache.open_result(job.result_key)
+        if opened is None:
+            raise ServiceError(f"result record for job {job_id} is missing")
+        fh, _size = opened
+        try:
+            fh.seek(offset)
+            return fh.read(min(length, MAX_CHUNK_BYTES))
+        finally:
+            fh.close()
 
     # -- control ---------------------------------------------------------
 

@@ -103,7 +103,12 @@ class RemoteWorkerPool:
             raise ServiceError(
                 f"nworkers must be >= 1, got {self.options.n}"
             )
-        self.client = client or ServiceClient(url)
+        # The client inherits the pool's inline threshold, so a child's
+        # oversized result is chunk-streamed to the coordinator without
+        # any code here knowing: ``client.complete`` switches paths.
+        self.client = client or ServiceClient(
+            url, inline_max=self.options.inline_max
+        )
         self.worker = worker or default_worker_name()
         self._slots: list[_Slot] = []
         self._leases: dict[str, float] = {}  # lease id -> expiry time

@@ -32,14 +32,19 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import hashlib
+import io
 import json
 import random
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from typing import BinaryIO
 
 from ...errors import (
+    ChunkIntegrityError,
+    ChunkOffsetError,
     ConfigError,
     LeaseConflictError,
     LeaseExpiredError,
@@ -52,6 +57,13 @@ from ...errors import (
 )
 from ..api import SubmitReceipt
 from ..jobs import Job, JobState, Lease
+from ..streams import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_INLINE_MAX,
+    decode_result,
+    encode_result,
+    iter_chunks,
+)
 from ..sweep import Sweep
 from ..views import JobView, QueuePage, ResultView
 
@@ -61,7 +73,8 @@ ERRORS_BY_CODE = {
     for cls in (
         ConfigError, MalformedRequestError, UnknownJobError,
         UnknownRouteError, UnknownJobKindError, LeaseConflictError,
-        LeaseExpiredError, ShardUnavailableError, ServiceError,
+        LeaseExpiredError, ChunkOffsetError, ChunkIntegrityError,
+        ShardUnavailableError, ServiceError,
     )
 }
 
@@ -130,13 +143,25 @@ def _query(**params) -> str:
 
 
 class ServiceClient:
-    """Blocking JSON-over-HTTP client for one service URL."""
+    """Blocking JSON-over-HTTP client for one service URL.
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    Results whose canonical encoding exceeds ``inline_max`` bytes are
+    streamed transparently: :meth:`complete` switches from the inline
+    ``POST .../complete`` body to the chunk-upload endpoints, and
+    :meth:`result` resolves a ``stream`` descriptor by downloading the
+    chunks -- callers see the same :class:`ResultView` either way.
+    Smaller results use the historical requests byte-for-byte.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 inline_max: int = DEFAULT_INLINE_MAX,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
         if "://" not in url:
             url = f"http://{url}"
         self.base_url = url.rstrip("/")
         self.timeout = timeout
+        self.inline_max = inline_max
+        self.chunk_size = chunk_size
 
     # -- transport -------------------------------------------------------
 
@@ -163,6 +188,45 @@ class ServiceClient:
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except (json.JSONDecodeError, OSError):
+                payload = {}
+            self._raise_for(exc.code, payload if isinstance(payload, dict)
+                            else {}, path)
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _request_raw(self, method: str, path: str, data: bytes) -> dict:
+        """Send a raw octet-stream body; parse the JSON response."""
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except (json.JSONDecodeError, OSError):
+                payload = {}
+            self._raise_for(exc.code, payload if isinstance(payload, dict)
+                            else {}, path)
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _request_bytes(self, path: str) -> bytes:
+        """GET a raw octet-stream response body."""
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
         except urllib.error.HTTPError as exc:
             try:
                 payload = json.loads(exc.read() or b"{}")
@@ -217,10 +281,69 @@ class ServiceClient:
         )
 
     def result(self, job_id: str) -> ResultView:
-        """The :class:`ResultView` envelope for one job."""
-        return ResultView.from_dict(
-            self._request("GET", f"/v1/jobs/{job_id}/result")
-        )
+        """The :class:`ResultView` envelope for one job.
+
+        A ``stream`` descriptor in the response (the result exceeded
+        the server's inline threshold) is resolved transparently: the
+        chunks are downloaded, verified against the declared size and
+        sha256, and decoded, so the returned view is indistinguishable
+        from an inline one.
+        """
+        body = self._request("GET", f"/v1/jobs/{job_id}/result")
+        view = ResultView.from_dict(body)
+        if view.stream is None:
+            return view
+        sink = io.BytesIO()
+        self._download_stream(job_id, view.stream, sink)
+        return ResultView(job=view.job, ready=True,
+                          result=decode_result(sink.getvalue()))
+
+    def _download_stream(self, job_id: str, stream: dict,
+                         sink: BinaryIO) -> tuple[int, str]:
+        """Ranged-download a streamed result into ``sink``; verify it."""
+        size = int(stream["size"])
+        expected = stream["sha256"]
+        hasher = hashlib.sha256()
+        offset = 0
+        while offset < size:
+            data = self._request_bytes(
+                f"/v1/jobs/{job_id}/result/chunks"
+                + _query(offset=offset, length=self.chunk_size)
+            )
+            if not data:
+                raise ChunkIntegrityError(
+                    f"result stream for job {job_id} ended at byte"
+                    f" {offset} of {size}"
+                )
+            sink.write(data)
+            hasher.update(data)
+            offset += len(data)
+        if hasher.hexdigest() != expected:
+            raise ChunkIntegrityError(
+                f"downloaded result for job {job_id} does not match"
+                f" its declared sha256"
+            )
+        return size, expected
+
+    def download_result(self, job_id: str, sink: BinaryIO) -> dict | None:
+        """Stream one job's result bytes (canonical JSON) into ``sink``.
+
+        Large results are fetched chunk by chunk, so client memory stays
+        bounded by ``chunk_size``; inline results are encoded and
+        written whole.  Returns ``{"size", "sha256"}`` on success, or
+        ``None`` (nothing written) when the job has no result yet.
+        """
+        body = self._request("GET", f"/v1/jobs/{job_id}/result")
+        view = ResultView.from_dict(body)
+        if view.stream is not None:
+            size, sha256 = self._download_stream(job_id, view.stream, sink)
+            return {"size": size, "sha256": sha256}
+        if not view.ready:
+            return None
+        encoded = encode_result(view.result)
+        sink.write(encoded)
+        return {"size": len(encoded),
+                "sha256": hashlib.sha256(encoded).hexdigest()}
 
     def cancel(self, job_id: str) -> bool:
         """Cancel one PENDING job; True when this call cancelled it."""
@@ -247,10 +370,35 @@ class ServiceClient:
 
     def complete(self, job_id: str, lease_id: str,
                  result: dict) -> JobView:
-        """Upload a leased job's result; returns the DONE job view."""
+        """Upload a leased job's result; returns the DONE job view.
+
+        A result whose canonical encoding exceeds ``inline_max`` bytes
+        is uploaded through the chunk endpoints instead of the inline
+        body -- same lease guard, same returned view.
+        """
+        encoded = encode_result(result)
+        if len(encoded) > self.inline_max:
+            return self._complete_streamed(job_id, lease_id, encoded)
         return JobView.from_dict(self._request(
             "POST", f"/v1/jobs/{job_id}/complete",
             {"lease": lease_id, "result": result},
+        )["job"])
+
+    def _complete_streamed(self, job_id: str, lease_id: str,
+                           encoded: bytes) -> JobView:
+        """Chunk-upload an encoded result, then finish the job."""
+        for chunk in iter_chunks(encoded, self.chunk_size):
+            self._request_raw(
+                "POST",
+                f"/v1/jobs/{job_id}/result/chunks"
+                + _query(lease=lease_id, offset=chunk.offset,
+                         sha256=chunk.sha256),
+                chunk.data,
+            )
+        return JobView.from_dict(self._request(
+            "POST", f"/v1/jobs/{job_id}/result/finish",
+            {"lease": lease_id, "size": len(encoded),
+             "sha256": hashlib.sha256(encoded).hexdigest()},
         )["job"])
 
     def fail(self, job_id: str, lease_id: str, error: str) -> JobView:
@@ -305,8 +453,12 @@ class AsyncServiceClient:
     def __init__(self, url: str, timeout: float = 30.0,
                  poll_initial: float = 0.05, poll_max: float = 2.0,
                  poll_factor: float = 2.0, jitter: float = 0.25,
-                 rng: random.Random | None = None) -> None:
-        self._client = ServiceClient(url, timeout=timeout)
+                 rng: random.Random | None = None,
+                 inline_max: int = DEFAULT_INLINE_MAX,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self._client = ServiceClient(url, timeout=timeout,
+                                     inline_max=inline_max,
+                                     chunk_size=chunk_size)
         self.poll_initial = poll_initial
         self.poll_max = poll_max
         self.poll_factor = poll_factor
@@ -349,6 +501,10 @@ class AsyncServiceClient:
 
     async def result(self, job_id: str) -> ResultView:
         return await self._call(self._client.result, job_id)
+
+    async def download_result(self, job_id: str,
+                              sink: BinaryIO) -> dict | None:
+        return await self._call(self._client.download_result, job_id, sink)
 
     async def cancel(self, job_id: str) -> bool:
         return await self._call(self._client.cancel, job_id)

@@ -10,32 +10,41 @@ pool saturated.  Optionally it also hosts an in-process
 :class:`~repro.service.fleet.RemoteWorkerPool` processes drain the same
 queue through the lease endpoints.
 
-v1 endpoints (all request/response bodies are JSON):
+v1 endpoints (request/response bodies are JSON unless marked *bytes*):
 
-=======  ================================  ===============================
-method   path                              action
-=======  ================================  ===============================
-POST     ``/v1/jobs``                      submit -> ``{"receipt": ...}``
-GET      ``/v1/jobs``                      queue page (filter + paginate)
-GET      ``/v1/jobs/{id}``                 one job -> ``{"job": ...}``
-GET      ``/v1/jobs/{id}/result``          ``{"job":..., "ready", "result"}``
-POST     ``/v1/jobs/{id}/cancel``          cancel a PENDING job
-POST     ``/v1/jobs/{id}/complete``        leased result upload
-POST     ``/v1/jobs/{id}/fail``            leased failure report
-POST     ``/v1/leases``                    claim jobs under a TTL lease
-POST     ``/v1/leases/{id}/heartbeat``     extend a live lease
-GET      ``/v1/queue``                     queue page (same as GET jobs)
-GET      ``/v1/healthz``                   liveness probe
-=======  ================================  ===============================
+=======  ==================================  ===============================
+method   path                                action
+=======  ==================================  ===============================
+POST     ``/v1/jobs``                        submit -> ``{"receipt": ...}``
+GET      ``/v1/jobs``                        queue page (filter + paginate)
+GET      ``/v1/jobs/{id}``                   one job -> ``{"job": ...}``
+GET      ``/v1/jobs/{id}/result``            ``{"job":..., "ready", "result"}``
+POST     ``/v1/jobs/{id}/cancel``            cancel a PENDING job
+POST     ``/v1/jobs/{id}/complete``          leased inline result upload
+POST     ``/v1/jobs/{id}/fail``              leased failure report
+POST     ``/v1/jobs/{id}/result/chunks``     leased chunk upload (*bytes*;
+                                             ``?lease&offset&sha256``)
+POST     ``/v1/jobs/{id}/result/finish``     promote a staged upload
+GET      ``/v1/jobs/{id}/result/chunks``     ranged result read (*bytes*;
+                                             ``?offset&length``)
+POST     ``/v1/leases``                      claim jobs under a TTL lease
+POST     ``/v1/leases/{id}/heartbeat``       extend a live lease
+GET      ``/v1/queue``                       queue page (same as GET jobs)
+GET      ``/v1/healthz``                     liveness probe
+=======  ==================================  ===============================
 
 Error contract: every error body is
 ``{"error": {"code": "...", "message": "..."}}`` where ``code`` is the
 stable machine-readable identifier the raised
 :class:`~repro.errors.ReproError` subclass carries (``bad_config`` 400,
 ``malformed`` 400, ``unknown_job`` / ``unknown_route`` 404,
-``unknown_kind`` 422, ``conflict`` / ``lease_expired`` 409,
-``shard_unavailable`` 503); the HTTP status comes from the same class.
-Clients re-raise the matching typed exception by ``code``.
+``unknown_kind`` 422, ``bad_offset`` / ``bad_chunk`` 422,
+``conflict`` / ``lease_expired`` 409, ``shard_unavailable`` 503); the
+HTTP status comes from the same class.  Clients re-raise the matching
+typed exception by ``code``.  Chunk uploads and ranged reads move raw
+``application/octet-stream`` bodies, bounded by
+:data:`~repro.service.streams.MAX_CHUNK_BYTES` per request, so the
+coordinator never buffers more than one chunk of a result.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from ...errors import (
     UnknownRouteError,
 )
 from ..api import Service
+from ..streams import DEFAULT_INLINE_MAX, MAX_CHUNK_BYTES
 from ..sweep import Sweep
 from ..views import JobView
 from ..workers import WorkerPool
@@ -64,6 +74,8 @@ _CANCEL_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/cancel$")
 _COMPLETE_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/complete$")
 _FAIL_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/fail$")
 _HEARTBEAT_RE = re.compile(r"^/v1/leases/([A-Za-z0-9_-]+)/heartbeat$")
+_RESULT_CHUNKS_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result/chunks$")
+_RESULT_FINISH_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result/finish$")
 
 
 def _validate_payloads(kind: str, payloads: list) -> None:
@@ -152,6 +164,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_bytes(self, status: int, data: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _send_error_json(self, status: int, code: str,
                          message: str) -> None:
         self._send_json(status, {
@@ -185,7 +204,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(500, "internal",
                                   f"{type(exc).__name__}: {exc}")
         else:
-            self._send_json(status, obj)
+            if isinstance(obj, (bytes, bytearray)):
+                self._send_bytes(status, bytes(obj))
+            else:
+                self._send_json(status, obj)
 
     # -- routes ----------------------------------------------------------
 
@@ -225,13 +247,83 @@ class _Handler(BaseHTTPRequestHandler):
         m = _JOB_RE.match(path)
         if m:
             return 200, {"job": self.service.job_view(m.group(1)).to_dict()}
+        m = _RESULT_CHUNKS_RE.match(path)
+        if m:
+            params = urllib.parse.parse_qs(query)
+            offset = _int_param(params, "offset", 0)
+            length = _int_param(params, "length")
+            if length is None:
+                raise MalformedRequestError(
+                    "query parameter 'length' is required"
+                )
+            return 200, self.service.read_result_chunk(
+                m.group(1), offset, length
+            )
         m = _RESULT_RE.match(path)
         if m:
             return 200, self.service.result_view(m.group(1)).to_dict()
         raise UnknownRouteError(f"no such endpoint: GET {path}")
 
+    def _read_chunk_body(self) -> bytes:
+        """The raw octet-stream body of a chunk upload, bounded.
+
+        An oversized declaration is refused *without reading*: the
+        connection is closed after the error response, since the unread
+        body would otherwise corrupt the next keep-alive request.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_CHUNK_BYTES:
+            self.close_connection = True
+            raise MalformedRequestError(
+                f"chunk of {length} bytes exceeds the"
+                f" {MAX_CHUNK_BYTES}-byte cap"
+            )
+        return self.rfile.read(length) if length else b""
+
     def _route_post(self) -> tuple[int, dict]:
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/")
+        m = _RESULT_CHUNKS_RE.match(path)
+        if m:
+            # Drain the body before any validation can raise, so an
+            # error response leaves the connection reusable.
+            data = self._read_chunk_body()
+            params = urllib.parse.parse_qs(query)
+            lease = params.get("lease", [""])[-1]
+            sha256 = params.get("sha256", [""])[-1]
+            offset = _int_param(params, "offset")
+            if not lease or not sha256 or offset is None:
+                raise MalformedRequestError(
+                    "chunk upload requires 'lease', 'offset' and"
+                    " 'sha256' query parameters"
+                )
+            received = self.service.stage_result_chunk(
+                m.group(1), lease, offset, sha256, data
+            )
+            return 200, {"job_id": m.group(1), "received": received}
+        m = _RESULT_FINISH_RE.match(path)
+        if m:
+            body = self._read_body()
+            lease_id = body.get("lease", "")
+            if not isinstance(lease_id, str) or not lease_id:
+                raise MalformedRequestError(
+                    "'lease' must be a non-empty string"
+                )
+            try:
+                size = int(body["size"])
+                sha256 = body["sha256"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise MalformedRequestError(
+                    f"finish requires integer 'size' and 'sha256': {exc}"
+                ) from None
+            if not isinstance(sha256, str) or not sha256:
+                raise MalformedRequestError(
+                    "'sha256' must be a non-empty string"
+                )
+            job = self.service.finish_result(
+                m.group(1), lease_id, size, sha256
+            )
+            return 200, {"job": JobView.from_job(job).to_dict()}
         if path == "/v1/jobs":
             body = self._read_body()
             kind, payloads, sweep, timeout, max_retries = \
@@ -334,13 +426,15 @@ class ServiceHTTPServer:
                  workers: int = 0, backoff_base: float = 0.5,
                  poll_interval: float = 0.02, quiet: bool = True,
                  shards: int = 1, shard_workdirs=None,
-                 busy_timeout: float = 30.0) -> None:
+                 busy_timeout: float = 30.0,
+                 inline_max: int = DEFAULT_INLINE_MAX) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
         self.service = Service(workdir, backoff_base=backoff_base,
                                shards=shards,
                                shard_workdirs=shard_workdirs,
-                               busy_timeout=busy_timeout)
+                               busy_timeout=busy_timeout,
+                               inline_max=inline_max)
         self.workers = workers
         self.poll_interval = poll_interval
         self._httpd = _Server((host, port), _Handler)

@@ -293,6 +293,39 @@ class ShardedStore:
             job_id, lease_id, error, backoff_base=backoff_base, now=now
         )
 
+    # -- staged result uploads (chunk streaming) -------------------------
+    #
+    # Staging is shard-local, like everything else keyed by the job: the
+    # spool file lives in the owning shard's ``staging/`` dir, and that
+    # shard's own lease-expiry sweep GCs it.  Jobs never migrate between
+    # shards, so a re-claimed job re-streams into the same shard.
+
+    def stage_chunk(self, job_id: str, lease_id: str, offset: int,
+                    sha256: str, data: bytes, now=None) -> int:
+        return self._shard_of(job_id).stage_chunk(
+            job_id, lease_id, offset, sha256, data, now=now
+        )
+
+    def finish_staged(self, job_id: str, lease_id: str, size: int,
+                      sha256: str, now=None) -> str:
+        return self._shard_of(job_id).finish_staged(
+            job_id, lease_id, size, sha256, now=now
+        )
+
+    def discard_staged(self, job_id: str) -> bool:
+        try:
+            shard = self._shard_of(job_id)
+        except (UnknownJobError, ShardUnavailableError):
+            return False
+        return shard.discard_staged(job_id)
+
+    def staged_info(self, job_id: str) -> dict | None:
+        try:
+            shard = self._shard_of(job_id)
+        except (UnknownJobError, ShardUnavailableError):
+            return None
+        return shard.staged_info(job_id)
+
     def expire_leases(self, now=None) -> list[Job]:
         """Run every shard's exactly-once expiry sweep; skip wedged ones.
 

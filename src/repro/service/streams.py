@@ -1,0 +1,147 @@
+"""Chunk framing codec for streaming large job results.
+
+A result that is too big for one inline ``POST /v1/jobs/{id}/complete``
+body travels as a sequence of content-hashed chunks instead: the worker
+encodes the result dict with :func:`repro.config.canonical_json`, splits
+the bytes into fixed-size chunks (:func:`iter_chunks`), and uploads each
+with its offset and sha256.  The receiving side feeds them through a
+:class:`ChunkAssembler`, which enforces three invariants:
+
+* chunks arrive in order (``offset`` must equal bytes received so far),
+* every chunk's bytes hash to its declared sha256, and
+* the finished stream's total size and whole-stream sha256 match what
+  the uploader declares at finish time.
+
+Violations raise :class:`~repro.errors.ChunkOffsetError` /
+:class:`~repro.errors.ChunkIntegrityError`, which carry the 422
+``bad_offset`` / ``bad_chunk`` codes across the v1 wire.  The assembler
+writes into any binary file-like sink, so the coordinator can spool a
+multi-gigabyte upload to disk while holding at most one chunk in memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+from typing import BinaryIO, Iterator
+
+from ..config import canonical_json
+from ..errors import ChunkIntegrityError, ChunkOffsetError, MalformedRequestError
+
+#: Chunk size used by clients when splitting a result for upload and
+#: when issuing ranged downloads.  Big enough to amortize per-request
+#: overhead, small enough that the coordinator's transient buffers stay
+#: far below any realistic result size.
+DEFAULT_CHUNK_SIZE = 4 * 1024 * 1024
+
+#: Results whose canonical encoding is at most this many bytes travel
+#: inline, byte-for-byte as before; anything larger streams as chunks.
+DEFAULT_INLINE_MAX = 1024 * 1024
+
+#: Hard server-side cap on a single uploaded chunk / ranged read, so a
+#: misbehaving client cannot make the coordinator buffer an arbitrarily
+#: large body in one request.
+MAX_CHUNK_BYTES = 32 * 1024 * 1024
+
+
+def encode_result(result: dict) -> bytes:
+    """Canonical JSON bytes of a result dict (the streamed wire form)."""
+    if not isinstance(result, dict):
+        raise MalformedRequestError("result must be a JSON object")
+    return canonical_json(result).encode("utf-8")
+
+
+def decode_result(data: bytes) -> dict:
+    """Inverse of :func:`encode_result`; rejects non-object payloads."""
+    try:
+        result = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ChunkIntegrityError(f"result stream is not valid JSON: {exc}")
+    if not isinstance(result, dict):
+        raise MalformedRequestError("result must be a JSON object")
+    return result
+
+
+def chunk_sha256(data: bytes) -> str:
+    """Hex sha256 of one chunk's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class Chunk:
+    """One frame of a chunked result: offset, bytes, content hash."""
+
+    offset: int
+    data: bytes
+    sha256: str
+
+
+def iter_chunks(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Chunk]:
+    """Split ``data`` into ordered, content-hashed chunks.
+
+    Empty input yields no chunks; the stream is then just a finish
+    declaring ``size=0`` and the sha256 of the empty string.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for offset in range(0, len(data), chunk_size):
+        piece = data[offset:offset + chunk_size]
+        yield Chunk(offset=offset, data=piece, sha256=chunk_sha256(piece))
+
+
+def stream_sha256(data: bytes) -> str:
+    """Hex sha256 of the whole stream (what finish must declare)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ChunkAssembler:
+    """Reassemble an ordered chunk stream into a binary sink.
+
+    ``feed`` rejects out-of-order offsets and corrupt chunks *before*
+    writing, so the sink only ever holds a verified prefix; ``finish``
+    checks the declared total size and whole-stream hash.  The default
+    sink is an in-memory buffer (see :meth:`getvalue`); pass an open
+    binary file to spool to disk instead.
+    """
+
+    def __init__(self, sink: BinaryIO | None = None) -> None:
+        self.sink: BinaryIO = sink if sink is not None else io.BytesIO()
+        self.bytes_received = 0
+        self._hasher = hashlib.sha256()
+
+    def feed(self, offset: int, data: bytes, sha256: str) -> int:
+        """Verify and append one chunk; returns total bytes received."""
+        if offset != self.bytes_received:
+            raise ChunkOffsetError(
+                f"chunk offset {offset} out of order "
+                f"(expected {self.bytes_received})"
+            )
+        if chunk_sha256(data) != sha256:
+            raise ChunkIntegrityError(
+                f"chunk at offset {offset} does not match its sha256"
+            )
+        self.sink.write(data)
+        self._hasher.update(data)
+        self.bytes_received += len(data)
+        return self.bytes_received
+
+    def finish(self, size: int, sha256: str) -> int:
+        """Verify the completed stream; returns its byte size."""
+        if size != self.bytes_received:
+            raise ChunkOffsetError(
+                f"stream declared {size} bytes but {self.bytes_received} "
+                f"were received"
+            )
+        if self._hasher.hexdigest() != sha256:
+            raise ChunkIntegrityError(
+                "assembled stream does not match its declared sha256"
+            )
+        return self.bytes_received
+
+    def getvalue(self) -> bytes:
+        """The assembled bytes (only for the default in-memory sink)."""
+        if not isinstance(self.sink, io.BytesIO):
+            raise TypeError("getvalue() requires the in-memory sink")
+        return self.sink.getvalue()

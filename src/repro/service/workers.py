@@ -37,6 +37,7 @@ from ..errors import ServiceError, UnknownJobKindError
 from .cache import ResultCache, payload_key
 from .jobs import UNCACHED_KINDS, Job, JobState
 from .store import JobStore
+from .streams import DEFAULT_INLINE_MAX as _DEFAULT_INLINE_MAX
 
 Runner = Callable[[dict, Job], dict]
 
@@ -51,7 +52,10 @@ class WorkerOptions:
     the remote :class:`~repro.service.fleet.RemoteWorkerPool` all accept
     this dataclass instead of re-plumbing the same six arguments; the
     defaults match the historical per-argument defaults.  ``lease_ttl``
-    only applies to remote pools (local pools hold no leases).
+    and ``inline_max`` only apply to remote pools (local pools hold no
+    leases and write the cache directly): a result whose canonical
+    encoding exceeds ``inline_max`` bytes is uploaded through the
+    chunk-streaming endpoints instead of one inline ``complete`` body.
     """
 
     n: int = 2
@@ -61,6 +65,7 @@ class WorkerOptions:
     backoff_base: float = 0.5
     name: str = "pool"
     lease_ttl: float = 30.0
+    inline_max: int = _DEFAULT_INLINE_MAX
 
     def replace(self, **changes) -> "WorkerOptions":
         return _dc_replace(self, **changes)

@@ -15,12 +15,14 @@ round-trips are asserted here.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import os
 import random
 import signal
 import subprocess
 import sys
+import time
 import urllib.request
 
 import pytest
@@ -283,6 +285,166 @@ class TestErrorContractAcrossShards:
         # The right lease still works afterwards, on every shard.
         for jid in ids:
             assert c.complete(jid, lease.id, {"ok": True}).state == "DONE"
+
+
+@pytest.fixture(params=[1, 3], ids=["1shard", "3shards"])
+def stream_server(request, tmp_path):
+    """No-pool servers with a tiny inline threshold (512 bytes).
+
+    Any result over ~half a KB crosses the wire as chunks, so the
+    streaming contract is exercised with small payloads -- and it must
+    be indistinguishable between a plain store and a ShardedStore,
+    whose staging areas are shard-local.
+    """
+    with ServiceHTTPServer(tmp_path / "svc", workers=0,
+                           shards=request.param, inline_max=512) as srv:
+        yield srv
+
+
+def _post_chunk(url: str, jid: str, lease: str, offset: int,
+                data: bytes, sha256: str | None = None):
+    """Raw chunk POST, bypassing the client's own framing."""
+    sha256 = sha256 or hashlib.sha256(data).hexdigest()
+    request = urllib.request.Request(
+        f"{url}/v1/jobs/{jid}/result/chunks"
+        f"?lease={lease}&offset={offset}&sha256={sha256}",
+        data=data, method="POST",
+        headers={"Content-Type": "application/octet-stream"},
+    )
+    return urllib.request.urlopen(request, timeout=10)
+
+
+class TestStreamingWireContract:
+    """The chunk endpoints' v1 contract, over one shard and three."""
+
+    BIG = {"tag": "big", "blob": "z" * 4000}      # ~4 KB encoded: streams
+    SMALL = {"tag": "small", "ok": True}          # well under 512: inline
+
+    def _completed(self, server, result, tag) -> tuple[ServiceClient, str]:
+        c = ServiceClient(server.url, inline_max=512, chunk_size=256)
+        jid = c.submit("probe", {"tag": tag}).new[0]
+        lease, jobs = c.claim("w", n=1, ttl=30.0)
+        assert [j.id for j in jobs] == [jid]
+        c.complete(jid, lease.id, result)
+        return c, jid
+
+    def test_inline_result_envelope_is_byte_compatible(self, stream_server):
+        """Sub-threshold results keep the exact pre-streaming envelope:
+        {"job", "ready", "result"} and nothing else -- no ``stream``
+        key ever appears on the inline path.
+        """
+        c, jid = self._completed(stream_server, self.SMALL, "small")
+        with urllib.request.urlopen(
+                stream_server.url + f"/v1/jobs/{jid}/result",
+                timeout=10) as resp:
+            body = json.loads(resp.read())
+        assert set(body) == {"job", "ready", "result"}
+        assert body["ready"] is True
+        assert body["result"] == self.SMALL
+
+    def test_streamed_and_inline_results_are_client_identical(
+            self, stream_server):
+        """Over-threshold results swap the inline body for a ``stream``
+        descriptor on the wire, but the client view is identical in
+        shape to the inline one: parity is the whole point.
+        """
+        c, jid = self._completed(stream_server, self.BIG, "big")
+        with urllib.request.urlopen(
+                stream_server.url + f"/v1/jobs/{jid}/result",
+                timeout=10) as resp:
+            body = json.loads(resp.read())
+        assert set(body) == {"job", "ready", "result", "stream"}
+        assert body["result"] is None
+        encoded = json.dumps(self.BIG, sort_keys=True,
+                             separators=(",", ":")).encode()
+        assert body["stream"] == {
+            "size": len(encoded),
+            "sha256": hashlib.sha256(encoded).hexdigest(),
+        }
+        view = c.result(jid)
+        assert view.stream is None          # resolved transparently
+        assert view.ready is True
+        assert view.result == self.BIG
+        _, jid_small = self._completed(stream_server, self.SMALL, "small")
+        assert set(view.to_dict()) == set(c.result(jid_small).to_dict())
+
+    def test_mid_stream_lease_expiry_is_409_lease_expired(
+            self, stream_server):
+        c = ServiceClient(stream_server.url, inline_max=512)
+        jid = c.submit("probe", {"tag": "expire-mid-stream"}).new[0]
+        lease, jobs = c.claim("w", n=1, ttl=5.0)
+        assert [j.id for j in jobs] == [jid]
+        _post_chunk(stream_server.url, jid, lease.id, 0, b"x" * 256)
+        # Force the sweep past the TTL: the half-uploaded stream's
+        # lease lapses and the job is requeued under the uploader.
+        stream_server.service.store.expire_leases(now=time.time() + 6.0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_chunk(stream_server.url, jid, lease.id, 256, b"y" * 256)
+        assert excinfo.value.code == 409
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "lease_expired"
+
+    def test_out_of_order_offset_is_422_bad_offset(self, stream_server):
+        c = ServiceClient(stream_server.url, inline_max=512)
+        jid = c.submit("probe", {"tag": "bad-offset"}).new[0]
+        lease, jobs = c.claim("w", n=1, ttl=30.0)
+        assert [j.id for j in jobs] == [jid]
+        # No upload in flight yet: anything but offset 0 is rejected.
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_chunk(stream_server.url, jid, lease.id, 512, b"x" * 64)
+        assert excinfo.value.code == 422
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "bad_offset"
+        # Mid-stream: a skipped offset is rejected, the prefix survives.
+        _post_chunk(stream_server.url, jid, lease.id, 0, b"x" * 64)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_chunk(stream_server.url, jid, lease.id, 128, b"y" * 64)
+        assert excinfo.value.code == 422
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "bad_offset"
+        body = json.loads(_post_chunk(stream_server.url, jid, lease.id,
+                                      64, b"y" * 64).read())
+        assert body == {"job_id": jid, "received": 128}
+
+    def test_corrupt_chunk_is_422_bad_chunk(self, stream_server):
+        c = ServiceClient(stream_server.url, inline_max=512)
+        jid = c.submit("probe", {"tag": "bad-chunk"}).new[0]
+        lease, jobs = c.claim("w", n=1, ttl=30.0)
+        assert [j.id for j in jobs] == [jid]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_chunk(stream_server.url, jid, lease.id, 0, b"flipped",
+                        sha256=hashlib.sha256(b"original").hexdigest())
+        assert excinfo.value.code == 422
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "bad_chunk"
+
+    def test_chunk_routes_for_unknown_job_are_404(self, stream_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_chunk(stream_server.url, "deadbeef0000", "l", 0, b"x")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "unknown_job"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                stream_server.url
+                + "/v1/jobs/deadbeef0000/result/chunks?offset=0&length=64",
+                timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_cli_results_output_streams_both_paths_to_file(
+            self, stream_server, tmp_path):
+        """`repro results --output FILE` writes one JSON object whose
+        values are the exact results, whether they streamed or not.
+        """
+        _, jid_big = self._completed(stream_server, self.BIG, "big")
+        _, jid_small = self._completed(stream_server, self.SMALL, "small")
+        out = tmp_path / "results.json"
+        rc = main(["results", "--url", stream_server.url,
+                   "--output", str(out), jid_big, jid_small])
+        assert rc == 0
+        with open(out, "rb") as fh:
+            written = json.load(fh)
+        assert written == {jid_big: self.BIG, jid_small: self.SMALL}
 
 
 class TestAsyncClient:
