@@ -24,11 +24,15 @@ Batch service commands (see ``docs/service.md``):
 * ``status``   -- job counts and per-job states (filter/paginate with
                   ``--state/--kind/--limit/--offset``).
 * ``results``  -- print results of completed jobs.
-* ``cancel``   -- cancel pending jobs.
+* ``cancel``   -- cancel queued jobs (idempotent: already-terminal
+                  targets are reported, not errors).
+* ``campaign`` -- submit a staged JSON spec as a dependency DAG
+                  (``campaign submit``) and track its per-stage
+                  progress (``campaign status`` / ``campaign list``).
 
-``submit``/``workers``/``status``/``results``/``cancel`` accept
-``--url`` to operate against a remote ``repro serve`` instance instead
-of a local workdir.
+``submit``/``workers``/``status``/``results``/``cancel``/``campaign``
+accept ``--url`` to operate against a remote ``repro serve`` instance
+instead of a local workdir.
 """
 
 from __future__ import annotations
@@ -335,7 +339,8 @@ def _cmd_workers(args: argparse.Namespace) -> int:
               f"{s.completed} completed, {s.failed} failed, {s.lost} lost")
         c = s.counts
         if c:
-            print(f"queue: {c['PENDING']} pending, {c['RUNNING']} running, "
+            print(f"queue: {c.get('BLOCKED', 0)} blocked, "
+                  f"{c['PENDING']} pending, {c['RUNNING']} running, "
                   f"{c['DONE']} done, {c['FAILED']} failed, "
                   f"{c['CANCELLED']} cancelled")
         return 0
@@ -346,7 +351,8 @@ def _cmd_workers(args: argparse.Namespace) -> int:
     c = summary.counts
     print(f"pool finished: {summary.completed} completed, "
           f"{summary.failed} failed, {summary.retried} retried")
-    print(f"queue: {c['PENDING']} pending, {c['RUNNING']} running, "
+    print(f"queue: {c.get('BLOCKED', 0)} blocked, "
+          f"{c['PENDING']} pending, {c['RUNNING']} running, "
           f"{c['DONE']} done, {c['FAILED']} failed, "
           f"{c['CANCELLED']} cancelled")
     return 0
@@ -381,8 +387,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
         where = f"workdir {page.workdir}"
     c = page.counts
     print(f"{where}: "
-          + ", ".join(f"{c[s]} {s.lower()}" for s in
-                      ("PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED")))
+          + ", ".join(f"{c.get(s, 0)} {s.lower()}" for s in
+                      ("BLOCKED", "PENDING", "RUNNING", "DONE", "FAILED",
+                       "CANCELLED")))
     if page.jobs:
         _print_job_rows(page.jobs)
     if len(page.jobs) < page.total:
@@ -485,30 +492,112 @@ def _write_results_file(output: str, ids: list, client, service) -> int:
 
 
 def _cmd_cancel(args: argparse.Namespace) -> int:
+    """Cancel jobs, idempotently.
+
+    Exit 0 when every target is terminal after the call -- including
+    jobs that were *already* DONE/FAILED/CANCELLED (reported, not an
+    error).  Exit 1 only when a target is still live (e.g. RUNNING,
+    which cancel does not preempt); an unknown id exits 2 as usual.
+    """
     client = _remote_client(args)
     if client is not None:
         ids = args.ids
         if args.all:
-            ids = [j.id for j in client.status(state="PENDING").jobs]
+            ids = [j.id for j in client.status(state="BLOCKED").jobs] \
+                + [j.id for j in client.status(state="PENDING").jobs]
         if not ids:
             print("nothing to cancel")
             return 0
-        cancelled = [jid for jid in ids if client.cancel(jid)]
+        outcomes = [client.cancel_job(jid) for jid in ids]
     else:
         from .service import JobState, Service
 
         service = Service(args.workdir)
         ids = args.ids
         if args.all:
-            ids = [j.id for j in service.store.list(JobState.PENDING)]
+            ids = [j.id for j in service.store.list(JobState.BLOCKED)] \
+                + [j.id for j in service.store.list(JobState.PENDING)]
         if not ids:
             print("nothing to cancel")
             return 0
-        cancelled = service.cancel(ids)
-    print(f"cancelled {len(cancelled)} of {len(ids)} job(s)")
-    for jid in cancelled:
-        print(f"  cancelled {jid}")
-    return 0 if len(cancelled) == len(ids) else 1
+        outcomes = [service.cancel_job(jid) for jid in ids]
+    terminal = ("DONE", "FAILED", "CANCELLED")
+    flipped = [v for hit, v in outcomes if hit]
+    already = [v for hit, v in outcomes if not hit and v.state in terminal]
+    live = [v for hit, v in outcomes if not hit and v.state not in terminal]
+    note = f", {len(already)} already terminal" if already else ""
+    print(f"cancelled {len(flipped)} of {len(ids)} job(s){note}")
+    for v in flipped:
+        print(f"  cancelled {v.id}")
+    for v in already:
+        print(f"  already   {v.id} ({v.state})")
+    for v in live:
+        print(f"  live      {v.id} ({v.state}; cancel does not preempt)")
+    return 0 if not live else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign submit|status|list``: staged job DAGs.
+
+    ``submit`` prints each stage's job ids on one line (scripts scrape
+    them); ``status`` prints a ``state=<word>`` token plus a per-stage
+    progress table, so ``repro campaign status ID | grep state=done``
+    is a polling loop's whole condition.
+    """
+    import json as _json
+
+    client = _remote_client(args)
+    service = None
+    if client is None:
+        from .service import Service
+
+        service = Service(args.workdir)
+    if args.action == "submit":
+        try:
+            with open(args.spec) as fh:
+                spec = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ConfigError(f"cannot read campaign spec: {exc}") from None
+        if client is not None:
+            view = client.submit_campaign(spec, timeout=args.timeout,
+                                          max_retries=args.retries)
+        else:
+            view = service.submit_campaign(spec, timeout=args.timeout,
+                                           max_retries=args.retries)
+        print(f"campaign {view.id} ({view.name}): {view.njobs} job(s)"
+              f" in {len(view.stages)} stage(s)")
+        for stage in view.stages:
+            print(f"  stage {stage.name}  {len(stage.job_ids)} job(s):"
+                  f" {' '.join(stage.job_ids)}")
+        return 0
+    if args.action == "list":
+        views = client.campaigns() if client is not None \
+            else service.list_campaigns()
+        print(f"{'id':<14}{'name':<22}{'state':<11}{'jobs':<6}stages")
+        for v in views:
+            print(f"{v.id:<14}{v.name[:20]:<22}{v.state:<11}{v.njobs:<6}"
+                  + ",".join(s.name for s in v.stages))
+        return 0
+    view = client.campaign(args.id) if client is not None \
+        else service.campaign_view(args.id)
+    print(f"campaign {view.id} ({view.name}) state={view.state}"
+          f" jobs={view.njobs}")
+    print(f"{'stage':<14}{'kind':<8}{'state':<11}{'blocked':<9}"
+          f"{'pending':<9}{'running':<9}{'done':<7}{'failed':<8}cancelled")
+    for s in view.stages:
+        c = s.counts
+        print(f"{s.name[:12]:<14}{s.kind:<8}{s.state:<11}"
+              f"{c.get('BLOCKED', 0):<9}{c.get('PENDING', 0):<9}"
+              f"{c.get('RUNNING', 0):<9}{c.get('DONE', 0):<7}"
+              f"{c.get('FAILED', 0):<8}{c.get('CANCELLED', 0)}")
+    if args.dag:
+        dag = client.campaign_dag(view.id) if client is not None \
+            else service.campaign_dag(view.id)
+        for node in dag.nodes:
+            deps = ",".join(node["depends_on"]) or "-"
+            print(f"  {node['id']}  {node['stage']:<14}"
+                  f"{node['state']:<11}<- {deps}")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -558,17 +647,18 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     degraded = [s for s in stats if not s.get("ok", False)]
     print(f"{where}: {len(stats)} shard(s)"
           + (f", {len(degraded)} DEGRADED" if degraded else ""))
-    print(f"{'shard':<7}{'pending':<9}{'running':<9}{'done':<7}"
-          f"{'failed':<8}{'leases':<8}workdir")
+    print(f"{'shard':<7}{'blocked':<9}{'pending':<9}{'running':<9}"
+          f"{'done':<7}{'failed':<8}{'leases':<8}workdir")
     for s in stats:
         if not s.get("ok", False):
-            print(f"{s['index']:<7}{'-':<9}{'-':<9}{'-':<7}{'-':<8}{'-':<8}"
-                  f"{s['workdir']}  DEGRADED: {s.get('error', '')[:80]}")
+            print(f"{s['index']:<7}{'-':<9}{'-':<9}{'-':<9}{'-':<7}{'-':<8}"
+                  f"{'-':<8}{s['workdir']}  DEGRADED:"
+                  f" {s.get('error', '')[:80]}")
             continue
         c = s["counts"]
-        print(f"{s['index']:<7}{c['PENDING']:<9}{c['RUNNING']:<9}"
-              f"{c['DONE']:<7}{c['FAILED']:<8}{s['leases']:<8}"
-              f"{s['workdir']}")
+        print(f"{s['index']:<7}{c.get('BLOCKED', 0):<9}{c['PENDING']:<9}"
+              f"{c['RUNNING']:<9}{c['DONE']:<7}{c['FAILED']:<8}"
+              f"{s['leases']:<8}{s['workdir']}")
     return 1 if degraded else 0
 
 
@@ -765,12 +855,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_args(p_shards, remote=True)
     p_shards.set_defaults(fn=_cmd_shards)
 
-    p_can = sub.add_parser("cancel", help="cancel pending jobs")
+    p_can = sub.add_parser("cancel", help="cancel queued jobs (idempotent)")
     _add_service_args(p_can, remote=True)
     p_can.add_argument("ids", nargs="*", help="job ids to cancel")
     p_can.add_argument("--all", action="store_true",
-                       help="cancel every pending job")
+                       help="cancel every blocked or pending job")
     p_can.set_defaults(fn=_cmd_cancel)
+
+    p_camp = sub.add_parser(
+        "campaign", help="submit and track staged job DAGs"
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+    p_camp_sub = camp_sub.add_parser(
+        "submit", help="expand a staged JSON spec into a job DAG"
+    )
+    _add_service_args(p_camp_sub, remote=True)
+    p_camp_sub.add_argument("--spec", required=True,
+                            help="path to the campaign JSON spec file")
+    p_camp_sub.add_argument("--timeout", type=float, default=0.0,
+                            help="default per-attempt wall-clock limit")
+    p_camp_sub.add_argument("--retries", type=int, default=2,
+                            help="default extra attempts after a failure")
+    p_camp_sub.set_defaults(fn=_cmd_campaign)
+    p_camp_stat = camp_sub.add_parser(
+        "status", help="per-stage progress for one campaign"
+    )
+    _add_service_args(p_camp_stat, remote=True)
+    p_camp_stat.add_argument("id", help="campaign id")
+    p_camp_stat.add_argument("--dag", action="store_true",
+                             help="also print every node and its parents")
+    p_camp_stat.set_defaults(fn=_cmd_campaign)
+    p_camp_list = camp_sub.add_parser(
+        "list", help="every campaign the service knows"
+    )
+    _add_service_args(p_camp_list, remote=True)
+    p_camp_list.set_defaults(fn=_cmd_campaign)
     return parser
 
 

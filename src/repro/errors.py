@@ -143,6 +143,31 @@ class ChunkIntegrityError(ServiceError):
     http_status = 422
 
 
+class CycleError(ServiceError):
+    """A submission's dependency edges form a cycle.
+
+    Raised at submit time, before any job of the submission is
+    enqueued: a cyclic stage graph can never release.
+    """
+
+    code = "cycle_detected"
+    http_status = 422
+
+
+class UnknownParentError(ServiceError):
+    """A submission's ``depends_on`` names a job id the store does not know."""
+
+    code = "unknown_parent"
+    http_status = 404
+
+
+class UnknownCampaignError(ServiceError):
+    """A campaign id was not found in the service's campaign store."""
+
+    code = "unknown_campaign"
+    http_status = 404
+
+
 class LeaseConflictError(ServiceError):
     """A lease operation named a job held by a different live lease."""
 

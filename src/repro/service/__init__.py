@@ -13,14 +13,20 @@ remote submitters share one queue and cache.
 
 The design follows HPC job-service practice (Balsam's job store +
 launcher + worker states): jobs carry lifecycle states
-``PENDING -> RUNNING -> DONE/FAILED/CANCELLED``, survive restarts on
-disk, and identical submissions are deduplicated or served from cache.
+``BLOCKED -> PENDING -> RUNNING -> DONE/FAILED/CANCELLED``, survive
+restarts on disk, and identical submissions are deduplicated or served
+from cache.  Jobs may depend on other jobs (:mod:`.dag`): a child stays
+``BLOCKED`` until every parent is ``DONE`` and is cancelled when a
+parent fails; :mod:`.campaign` expands a staged spec (grid ->
+pick-winner -> dependent study) into such a DAG in one request.
 """
 
 from __future__ import annotations
 
 from .api import Service, SubmitReceipt
 from .cache import ResultCache, payload_key
+from .campaign import CampaignStage, CampaignStore, parse_campaign_spec
+from .dag import DagResolver, toposort
 from .fleet import FleetSummary, RemoteWorkerPool
 from .jobs import Job, JobState, Lease, new_job_id
 from .shard import (
@@ -41,14 +47,26 @@ from .streams import (
     iter_chunks,
 )
 from .sweep import Sweep, expand_grid
-from .views import JobView, QueuePage, ResultView
+from .views import (
+    CampaignView,
+    DagView,
+    JobView,
+    QueuePage,
+    ResultView,
+    StageView,
+)
 from .workers import PoolSummary, WorkerOptions, WorkerPool, register_runner
 
 __all__ = [
+    "CampaignStage",
+    "CampaignStore",
+    "CampaignView",
     "Chunk",
     "ChunkAssembler",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_INLINE_MAX",
+    "DagResolver",
+    "DagView",
     "FleetSummary",
     "Job",
     "MAX_CHUNK_BYTES",
@@ -63,6 +81,7 @@ __all__ = [
     "ResultView",
     "Service",
     "ShardedStore",
+    "StageView",
     "SubmitReceipt",
     "Sweep",
     "WorkerOptions",
@@ -73,8 +92,10 @@ __all__ = [
     "expand_grid",
     "iter_chunks",
     "new_job_id",
+    "parse_campaign_spec",
     "payload_key",
     "register_runner",
     "shard_index",
     "shard_workdirs",
+    "toposort",
 ]

@@ -20,15 +20,24 @@ import os
 import threading
 from dataclasses import dataclass, field
 
-from ..errors import MalformedRequestError, ServiceError, UnknownJobKindError
+from ..errors import (
+    MalformedRequestError,
+    ServiceError,
+    UnknownJobError,
+    UnknownJobKindError,
+    UnknownParentError,
+)
 from .cache import ResultCache, payload_key
+from .campaign import (CampaignStore, build_campaign_view, build_dag_view,
+                       make_record, new_campaign_id, parse_campaign_spec)
+from .dag import DagResolver
 from .jobs import UNCACHED_KINDS, Job, JobState, Lease, new_job_id
 from .shard import (ShardedStore, detect_shard_workdirs,
                     shard_workdirs as _shard_layout)
 from .store import JobStore
 from .streams import DEFAULT_INLINE_MAX, MAX_CHUNK_BYTES
 from .sweep import Sweep
-from .views import JobView, QueuePage, ResultView
+from .views import CampaignView, DagView, JobView, QueuePage, ResultView
 from .workers import RUNNERS, PoolSummary, WorkerOptions, WorkerPool
 
 DEFAULT_WORKDIR = ".repro-service"
@@ -112,6 +121,16 @@ class Service:
         self.cache = ResultCache(os.path.join(self.workdir, "cache"),
                                  inline_max=inline_max)
         self.backoff_base = backoff_base
+        self.campaigns = CampaignStore(
+            os.path.join(self.workdir, "campaigns"))
+        # Dependency-aware release: the resolver hangs off the store's
+        # terminal hook so a parent finishing on any shard releases (or
+        # cancels) its children event-driven.  The opening sweep is
+        # crash recovery -- a coordinator SIGKILLed between a parent's
+        # commit and its children's release reconciles here.
+        self.dag = DagResolver(self.store)
+        self.store.set_terminal_hook(self.dag.on_terminal)
+        self.dag.sweep()
 
     @property
     def nshards(self) -> int:
@@ -127,16 +146,51 @@ class Service:
         return [{
             "index": 0, "workdir": self.store.workdir, "ok": True,
             "counts": counts,
-            "outstanding": counts[JobState.PENDING.value]
-            + counts[JobState.RUNNING.value],
+            "outstanding": sum(counts[s.value] for s in JobState
+                               if not s.terminal),
             "leases": len(leases),
         }]
 
     # -- submission ------------------------------------------------------
 
+    def _check_parents(self, depends_on) -> tuple[list[str], bool]:
+        """Validate ``depends_on``; returns ``(parent_ids, all_done)``.
+
+        Parent ids are deduplicated preserving order; every parent must
+        already exist (:class:`UnknownParentError` / 404 otherwise).  A
+        single direct submission cannot create a cycle -- its own id
+        does not exist yet, so a self- or forward-reference fails the
+        existence check; cyclic *stage* graphs are rejected by the
+        campaign expander before anything is enqueued.
+        """
+        parents = list(dict.fromkeys(depends_on))
+        for pid in parents:
+            if not isinstance(pid, str) or not pid:
+                raise MalformedRequestError(
+                    "depends_on entries must be non-empty job-id strings"
+                )
+        all_done = True
+        for pid in parents:
+            try:
+                parent = self.store.get(pid)
+            except UnknownJobError:
+                raise UnknownParentError(
+                    f"unknown parent job: {pid}"
+                ) from None
+            if parent.state is not JobState.DONE:
+                all_done = False
+        return parents, all_done
+
     def submit(self, kind: str, payload: dict, timeout: float = 0.0,
-               max_retries: int = 2) -> SubmitReceipt:
-        """Submit one job; serve from cache / dedupe when possible."""
+               max_retries: int = 2, depends_on=()) -> SubmitReceipt:
+        """Submit one job; serve from cache / dedupe when possible.
+
+        ``depends_on`` lists parent job ids: the job starts BLOCKED and
+        only turns PENDING once every parent is DONE (a failed parent
+        cancels it instead).  Parent ids are part of the content key --
+        a reduce over one grid is not a reduce over another -- so cache
+        reuse and dedup stay correct for dependent jobs.
+        """
         if kind not in RUNNERS:
             raise UnknownJobKindError(
                 f"unknown job kind {kind!r}"
@@ -146,14 +200,20 @@ class Service:
             raise MalformedRequestError(
                 f"max_retries must be >= 0, got {max_retries}"
             )
-        key = payload_key(kind, payload)
+        parents, parents_done = self._check_parents(depends_on)
+        key = payload_key(kind, payload, parents=parents)
         receipt = SubmitReceipt()
         job = Job(
             id=new_job_id(), kind=kind, payload=payload, key=key,
             timeout=timeout, max_retries=max_retries,
+            state=JobState.PENDING if parents_done else JobState.BLOCKED,
+            depends_on=parents,
         )
         if kind not in UNCACHED_KINDS:
             if key in self.cache:
+                # A cached result under a parent-aware key implies the
+                # same child of the same parents already completed, so
+                # the parents were DONE -- serving it needs no release.
                 job.state = JobState.DONE
                 job.result_key = key
                 job.cached = True
@@ -167,23 +227,89 @@ class Service:
             added, existing = self.store.add_if_no_active(job)
             if existing is not None:
                 receipt.deduped.append(existing.id)
-            else:
-                receipt.new.append(added.id)
-            return receipt
-        self.store.add(job)
-        receipt.new.append(job.id)
+                return receipt
+            receipt.new.append(added.id)
+        else:
+            self.store.add(job)
+            receipt.new.append(job.id)
+        if job.state is JobState.BLOCKED:
+            # Close the submit-vs-completion race: a parent that turned
+            # terminal between the state check above and the insert
+            # fired its hook before this child's edges existed.
+            self.dag.reconcile(job.id)
         return receipt
 
     def submit_sweep(self, sweep: Sweep, timeout: float = 0.0,
-                     max_retries: int = 2) -> SubmitReceipt:
+                     max_retries: int = 2, depends_on=()) -> SubmitReceipt:
         """Expand a sweep and submit every unique point."""
         receipt = SubmitReceipt()
         for payload in sweep.expand():
             receipt.merge(
                 self.submit(sweep.kind, payload, timeout=timeout,
-                            max_retries=max_retries)
+                            max_retries=max_retries,
+                            depends_on=depends_on)
             )
         return receipt
+
+    # -- campaigns -------------------------------------------------------
+
+    def submit_campaign(self, spec: dict, timeout: float = 0.0,
+                        max_retries: int = 2) -> CampaignView:
+        """Expand a staged campaign spec into a job DAG and submit it.
+
+        Stages are validated (shape, known kinds, acyclic ``after``
+        graph -- :class:`~repro.errors.CycleError` before any job is
+        enqueued) and submitted in topological order; every job of a
+        stage depends on every job of each parent stage.  Returns the
+        campaign's initial progress view.
+        """
+        name, stages, order = parse_campaign_spec(spec)
+        for stage in stages:
+            if stage.kind not in RUNNERS:
+                raise UnknownJobKindError(
+                    f"stage {stage.name!r}: unknown job kind"
+                    f" {stage.kind!r}"
+                    f" (known: {', '.join(sorted(RUNNERS))})"
+                )
+        by_name = {s.name: s for s in stages}
+        stage_jobs: dict[str, list[str]] = {}
+        for stage_name in order:
+            stage = by_name[stage_name]
+            parents = [jid for pname in stage.after
+                       for jid in stage_jobs[pname]]
+            ids: list[str] = []
+            for payload in stage.payloads:
+                r = self.submit(
+                    stage.kind, payload,
+                    timeout=(timeout if stage.timeout is None
+                             else stage.timeout),
+                    max_retries=(max_retries if stage.max_retries is None
+                                 else stage.max_retries),
+                    depends_on=parents,
+                )
+                ids.extend(r.job_ids)
+            stage_jobs[stage_name] = ids
+        record = make_record(new_campaign_id(), name, [
+            {"name": s.name, "kind": s.kind, "after": list(s.after),
+             "job_ids": stage_jobs[s.name]}
+            for s in stages
+        ])
+        self.campaigns.put(record)
+        return build_campaign_view(record, self.store)
+
+    def campaign_view(self, campaign_id: str) -> CampaignView:
+        """Live per-stage progress for one campaign."""
+        return build_campaign_view(self.campaigns.get(campaign_id),
+                                   self.store)
+
+    def campaign_dag(self, campaign_id: str) -> DagView:
+        """The campaign's dependency graph with live node states."""
+        return build_dag_view(self.campaigns.get(campaign_id), self.store)
+
+    def list_campaigns(self) -> list[CampaignView]:
+        """Progress views for every recorded campaign, oldest first."""
+        return [build_campaign_view(r, self.store)
+                for r in self.campaigns.list()]
 
     # -- queries ---------------------------------------------------------
 
@@ -314,9 +440,11 @@ class Service:
                 f" got {type(result).__name__}"
             )
         job = self.store.get(job_id)
-        key = payload_key(job.kind, job.payload)
-        self.cache.put(key, job.kind, job.payload, result)
-        return self.store.complete_leased(job_id, lease_id, key)
+        # The stored key, not a recomputation: for dependent jobs the
+        # key folds in the parent ids (and the payload may have been a
+        # placeholder form the worker resolved before running).
+        self.cache.put(job.key, job.kind, job.payload, result)
+        return self.store.complete_leased(job_id, lease_id, job.key)
 
     def fail_job(self, job_id: str, lease_id: str, error: str) -> Job:
         """Record a leased attempt's failure (bounded retry applies)."""
@@ -353,7 +481,7 @@ class Service:
         """
         path = self.store.finish_staged(job_id, lease_id, size, sha256)
         job = self.store.get(job_id)
-        key = payload_key(job.kind, job.payload)
+        key = job.key  # parent-aware for dependent jobs; see complete_job
         try:
             # The stream must be a JSON *object* to be a result; one
             # byte tells us without loading it.
@@ -399,8 +527,21 @@ class Service:
     # -- control ---------------------------------------------------------
 
     def cancel(self, job_ids) -> list[str]:
-        """Cancel the given PENDING jobs; returns the ids cancelled."""
+        """Cancel the given BLOCKED/PENDING jobs; returns the ids cancelled."""
         return [jid for jid in job_ids if self.store.cancel(jid)]
+
+    def cancel_job(self, job_id: str) -> tuple[bool, JobView]:
+        """Idempotently cancel one job; ``(flipped, current_view)``.
+
+        An unknown id raises :class:`UnknownJobError`; a job already
+        terminal (including already CANCELLED) is *not* an error --
+        ``flipped`` is False and the view reports its current state, so
+        racing cancellers (a user and the DAG failure propagation) both
+        get a coherent answer.
+        """
+        self.store.get(job_id)  # 404 on unknown id
+        flipped = self.store.cancel(job_id)
+        return flipped, self.job_view(job_id)
 
     def run_workers(self, options: WorkerOptions | None = None,
                     **overrides) -> PoolSummary:
@@ -415,7 +556,8 @@ class Service:
         if overrides:
             options = options.replace(**overrides)
         if not isinstance(self.store, ShardedStore):
-            pool = WorkerPool.from_options(self.workdir, options)
+            pool = WorkerPool.from_options(self.workdir, options,
+                                           dag=self.dag)
             return pool.run(drain=options.drain,
                             max_seconds=options.max_seconds)
         # One pool per shard, run concurrently, all writing the shared
@@ -426,9 +568,12 @@ class Service:
         summaries: list[PoolSummary | None] = [None] * self.store.nshards
 
         def _drain(i: int, workdir: str) -> None:
+            # ``dag`` spans the *logical* sharded store: a parent
+            # finishing in this shard's pool releases children that
+            # hashed to any other shard (the cross-shard notifier).
             pool = WorkerPool.from_options(
                 workdir, options.replace(name=f"{options.name}-s{i}"),
-                cache_dir=self.cache.root,
+                cache_dir=self.cache.root, dag=self.dag,
             )
             summaries[i] = pool.run(drain=options.drain,
                                     max_seconds=options.max_seconds)

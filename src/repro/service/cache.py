@@ -35,9 +35,18 @@ from ..config import canonical_json, config_key
 from .streams import DEFAULT_INLINE_MAX, encode_result
 
 
-def payload_key(kind: str, payload: dict) -> str:
-    """Stable content hash identifying one job's work."""
-    return config_key({"kind": kind, "payload": payload})
+def payload_key(kind: str, payload: dict, parents=()) -> str:
+    """Stable content hash identifying one job's work.
+
+    For dependent jobs the parent ids are part of the identity: a reduce
+    over one grid is not the same computation as the same reduce over
+    another, even though the payloads match byte-for-byte.  Jobs without
+    parents hash exactly as before, so existing keys are unchanged.
+    """
+    doc: dict = {"kind": kind, "payload": payload}
+    if parents:
+        doc["parents"] = sorted(parents)
+    return config_key(doc)
 
 
 class ResultCache:

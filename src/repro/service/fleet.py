@@ -32,6 +32,7 @@ import traceback
 from dataclasses import dataclass, field
 
 from ..errors import LeaseConflictError, ServiceError, UnknownJobError
+from .dag import has_placeholders, needs_parent_results, resolve_payload
 from .http.client import ServiceClient, _Backoff
 from .jobs import Job
 from .workers import WorkerOptions, runner_for
@@ -240,6 +241,31 @@ class RemoteWorkerPool:
                     if slot.lease_id == lid and slot.process.is_alive():
                         slot.process.terminate()
 
+    def _prepare(self, job: Job) -> None:
+        """Fetch parent results for reduce / ``$winner`` jobs over HTTP.
+
+        A leased job's parents are all DONE (the coordinator only
+        releases it then), so their results are one ``GET`` each; the
+        client resolves chunk-streamed results transparently.  A
+        missing result raises :class:`ServiceError` and the attempt is
+        failed back to the coordinator through the retry policy.
+        """
+        if not needs_parent_results(job):
+            return
+        parent_results: dict = {}
+        for pid in job.depends_on:
+            view = self._with_retries(self.client.result, pid, attempts=2)
+            if not view.ready or view.result is None:
+                raise ServiceError(
+                    f"parent {pid} result unavailable"
+                    f" (state {view.state})"
+                )
+            parent_results[pid] = {"payload": view.job.payload,
+                                   "result": view.result}
+        job.parent_results = parent_results
+        if has_placeholders(job.payload):
+            job.payload = resolve_payload(job.payload, parent_results)
+
     def _claim(self, summary: FleetSummary) -> bool:
         free = self.options.n - len(self._slots)
         if free < 1:
@@ -253,6 +279,18 @@ class RemoteWorkerPool:
         self._leases[lease.id] = lease.expires
         for job in jobs:
             summary.claimed += 1
+            try:
+                self._prepare(job)
+            except ServiceError as exc:
+                try:
+                    self._with_retries(
+                        self.client.fail, job.id, lease.id,
+                        f"dag input error: {exc}", attempts=2,
+                    )
+                    summary.failed += 1
+                except (LeaseConflictError, UnknownJobError, ServiceError):
+                    summary.lost += 1
+                continue
             self._launch(job, lease.id)
         return True
 

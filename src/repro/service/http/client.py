@@ -6,9 +6,11 @@ facade and returns the *same typed objects* local callers get:
 ``submit``/``submit_sweep`` a :class:`~repro.service.api.SubmitReceipt`,
 ``job`` a :class:`~repro.service.views.JobView`, ``status``/``queue`` a
 :class:`~repro.service.views.QueuePage`, ``result`` a
-:class:`~repro.service.views.ResultView`.  The lease protocol the remote
-fleet speaks (``claim`` / ``heartbeat`` / ``complete`` / ``fail``) is
-exposed the same way.
+:class:`~repro.service.views.ResultView`, ``submit_campaign`` /
+``campaign`` a :class:`~repro.service.views.CampaignView` and
+``campaign_dag`` a :class:`~repro.service.views.DagView`.  The lease
+protocol the remote fleet speaks (``claim`` / ``heartbeat`` /
+``complete`` / ``fail``) is exposed the same way.
 
 Errors come back as the library's own exception types: the server puts a
 stable machine-readable ``code`` in every error body
@@ -46,13 +48,16 @@ from ...errors import (
     ChunkIntegrityError,
     ChunkOffsetError,
     ConfigError,
+    CycleError,
     LeaseConflictError,
     LeaseExpiredError,
     MalformedRequestError,
     ServiceError,
     ShardUnavailableError,
+    UnknownCampaignError,
     UnknownJobError,
     UnknownJobKindError,
+    UnknownParentError,
     UnknownRouteError,
 )
 from ..api import SubmitReceipt
@@ -65,7 +70,7 @@ from ..streams import (
     iter_chunks,
 )
 from ..sweep import Sweep
-from ..views import JobView, QueuePage, ResultView
+from ..views import CampaignView, DagView, JobView, QueuePage, ResultView
 
 #: ``code`` in an error body -> the exception class the client raises.
 ERRORS_BY_CODE = {
@@ -74,7 +79,8 @@ ERRORS_BY_CODE = {
         ConfigError, MalformedRequestError, UnknownJobError,
         UnknownRouteError, UnknownJobKindError, LeaseConflictError,
         LeaseExpiredError, ChunkOffsetError, ChunkIntegrityError,
-        ShardUnavailableError, ServiceError,
+        ShardUnavailableError, CycleError, UnknownParentError,
+        UnknownCampaignError, ServiceError,
     )
 }
 
@@ -260,20 +266,67 @@ class ServiceClient:
     queue = status
 
     def submit(self, kind: str, payload: dict, timeout: float = 0.0,
-               max_retries: int = 2) -> SubmitReceipt:
-        """Submit one job; returns the :class:`SubmitReceipt`."""
+               max_retries: int = 2, depends_on=()) -> SubmitReceipt:
+        """Submit one job; returns the :class:`SubmitReceipt`.
+
+        ``depends_on`` lists parent job ids: the job starts BLOCKED and
+        is released only when every parent is DONE; an unknown parent
+        id raises :class:`UnknownParentError` (404 ``unknown_parent``).
+        """
         return SubmitReceipt.from_dict(self._request("POST", "/v1/jobs", {
             "kind": kind, "payload": payload,
             "timeout": timeout, "max_retries": max_retries,
+            "depends_on": list(depends_on),
         })["receipt"])
 
     def submit_sweep(self, sweep, timeout: float = 0.0,
-                     max_retries: int = 2) -> SubmitReceipt:
-        """Submit a :class:`~repro.service.Sweep` (or spec dict)."""
+                     max_retries: int = 2, depends_on=()) -> SubmitReceipt:
+        """Submit a :class:`~repro.service.Sweep` (or spec dict).
+
+        ``depends_on`` applies to every job of the sweep.
+        """
         return SubmitReceipt.from_dict(self._request("POST", "/v1/jobs", {
             "sweep": _sweep_spec(sweep),
             "timeout": timeout, "max_retries": max_retries,
+            "depends_on": list(depends_on),
         })["receipt"])
+
+    # -- campaigns -------------------------------------------------------
+
+    def submit_campaign(self, spec: dict, timeout: float = 0.0,
+                        max_retries: int = 2) -> CampaignView:
+        """Expand a staged spec into a job DAG server-side.
+
+        The whole campaign is validated first: a cyclic stage graph
+        raises :class:`CycleError` (422 ``cycle_detected``) and nothing
+        is enqueued.  Returns the initial :class:`CampaignView`.
+        """
+        if not isinstance(spec, dict):
+            raise ConfigError("campaign spec must be a dict")
+        body = dict(spec)
+        body["timeout"] = timeout
+        body["max_retries"] = max_retries
+        return CampaignView.from_dict(
+            self._request("POST", "/v1/campaigns", body)["campaign"]
+        )
+
+    def campaign(self, campaign_id: str) -> CampaignView:
+        """Live per-stage progress for one campaign."""
+        return CampaignView.from_dict(self._request(
+            "GET", f"/v1/campaigns/{campaign_id}"
+        )["campaign"])
+
+    def campaigns(self) -> list[CampaignView]:
+        """Every campaign the coordinator knows, oldest first."""
+        return [CampaignView.from_dict(c) for c in self._request(
+            "GET", "/v1/campaigns"
+        )["campaigns"]]
+
+    def campaign_dag(self, campaign_id: str) -> DagView:
+        """The campaign's node graph with live job states."""
+        return DagView.from_dict(self._request(
+            "GET", f"/v1/campaigns/{campaign_id}/dag"
+        )["dag"])
 
     def job(self, job_id: str) -> JobView:
         return JobView.from_dict(
@@ -346,10 +399,22 @@ class ServiceClient:
                 "sha256": hashlib.sha256(encoded).hexdigest()}
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel one PENDING job; True when this call cancelled it."""
-        return bool(
-            self._request("POST", f"/v1/jobs/{job_id}/cancel")["cancelled"]
-        )
+        """Cancel one job; True when *this call* flipped it.
+
+        Idempotent: an already-terminal job returns False without an
+        error.  Only an unknown id raises :class:`UnknownJobError`.
+        """
+        return self.cancel_job(job_id)[0]
+
+    def cancel_job(self, job_id: str) -> tuple[bool, JobView]:
+        """Cancel and return ``(flipped, current JobView)``.
+
+        The view reflects the job *after* the call either way, so a
+        caller can distinguish "I cancelled it" from "it was already
+        DONE/FAILED/CANCELLED" without a second request.
+        """
+        body = self._request("POST", f"/v1/jobs/{job_id}/cancel")
+        return bool(body["cancelled"]), JobView.from_dict(body["job"])
 
     # -- lease protocol (remote workers) ---------------------------------
 
@@ -487,14 +552,31 @@ class AsyncServiceClient:
     queue = status
 
     async def submit(self, kind: str, payload: dict, timeout: float = 0.0,
-                     max_retries: int = 2) -> SubmitReceipt:
+                     max_retries: int = 2, depends_on=()) -> SubmitReceipt:
         return await self._call(self._client.submit, kind, payload,
-                                timeout=timeout, max_retries=max_retries)
+                                timeout=timeout, max_retries=max_retries,
+                                depends_on=depends_on)
 
     async def submit_sweep(self, sweep, timeout: float = 0.0,
-                           max_retries: int = 2) -> SubmitReceipt:
+                           max_retries: int = 2,
+                           depends_on=()) -> SubmitReceipt:
         return await self._call(self._client.submit_sweep, sweep,
+                                timeout=timeout, max_retries=max_retries,
+                                depends_on=depends_on)
+
+    async def submit_campaign(self, spec: dict, timeout: float = 0.0,
+                              max_retries: int = 2) -> CampaignView:
+        return await self._call(self._client.submit_campaign, spec,
                                 timeout=timeout, max_retries=max_retries)
+
+    async def campaign(self, campaign_id: str) -> CampaignView:
+        return await self._call(self._client.campaign, campaign_id)
+
+    async def campaigns(self) -> list[CampaignView]:
+        return await self._call(self._client.campaigns)
+
+    async def campaign_dag(self, campaign_id: str) -> DagView:
+        return await self._call(self._client.campaign_dag, campaign_id)
 
     async def job(self, job_id: str) -> JobView:
         return await self._call(self._client.job, job_id)
@@ -508,6 +590,9 @@ class AsyncServiceClient:
 
     async def cancel(self, job_id: str) -> bool:
         return await self._call(self._client.cancel, job_id)
+
+    async def cancel_job(self, job_id: str) -> tuple[bool, JobView]:
+        return await self._call(self._client.cancel_job, job_id)
 
     async def claim(self, worker: str, n: int = 1,
                     ttl: float = 30.0) -> tuple[Lease | None, list[Job]]:

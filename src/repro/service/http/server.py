@@ -19,7 +19,7 @@ POST     ``/v1/jobs``                        submit -> ``{"receipt": ...}``
 GET      ``/v1/jobs``                        queue page (filter + paginate)
 GET      ``/v1/jobs/{id}``                   one job -> ``{"job": ...}``
 GET      ``/v1/jobs/{id}/result``            ``{"job":..., "ready", "result"}``
-POST     ``/v1/jobs/{id}/cancel``            cancel a PENDING job
+POST     ``/v1/jobs/{id}/cancel``            cancel (idempotent, 200)
 POST     ``/v1/jobs/{id}/complete``          leased inline result upload
 POST     ``/v1/jobs/{id}/fail``              leased failure report
 POST     ``/v1/jobs/{id}/result/chunks``     leased chunk upload (*bytes*;
@@ -29,16 +29,26 @@ GET      ``/v1/jobs/{id}/result/chunks``     ranged result read (*bytes*;
                                              ``?offset&length``)
 POST     ``/v1/leases``                      claim jobs under a TTL lease
 POST     ``/v1/leases/{id}/heartbeat``       extend a live lease
+POST     ``/v1/campaigns``                   staged spec -> ``{"campaign"}``
+GET      ``/v1/campaigns``                   ``{"campaigns": [...]}``
+GET      ``/v1/campaigns/{id}``              progress -> ``{"campaign"}``
+GET      ``/v1/campaigns/{id}/dag``          node graph -> ``{"dag": ...}``
 GET      ``/v1/queue``                       queue page (same as GET jobs)
-GET      ``/v1/healthz``                     liveness probe
+GET      ``/v1/healthz``                     liveness + per-state depths
 =======  ==================================  ===============================
+
+Submissions may carry ``depends_on`` (a list of parent job ids): the
+job enters ``BLOCKED`` and is released only when every parent is
+``DONE`` (see :mod:`repro.service.dag`).  Campaign specs are expanded
+into such a DAG server-side, whole-or-nothing.
 
 Error contract: every error body is
 ``{"error": {"code": "...", "message": "..."}}`` where ``code`` is the
 stable machine-readable identifier the raised
 :class:`~repro.errors.ReproError` subclass carries (``bad_config`` 400,
-``malformed`` 400, ``unknown_job`` / ``unknown_route`` 404,
-``unknown_kind`` 422, ``bad_offset`` / ``bad_chunk`` 422,
+``malformed`` 400, ``unknown_job`` / ``unknown_route`` /
+``unknown_parent`` / ``unknown_campaign`` 404, ``unknown_kind`` /
+``cycle_detected`` 422, ``bad_offset`` / ``bad_chunk`` 422,
 ``conflict`` / ``lease_expired`` 409, ``shard_unavailable`` 503); the
 HTTP status comes from the same class.  Clients re-raise the matching
 typed exception by ``code``.  Chunk uploads and ranged reads move raw
@@ -76,6 +86,8 @@ _FAIL_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/fail$")
 _HEARTBEAT_RE = re.compile(r"^/v1/leases/([A-Za-z0-9_-]+)/heartbeat$")
 _RESULT_CHUNKS_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result/chunks$")
 _RESULT_FINISH_RE = re.compile(r"^/v1/jobs/([A-Za-z0-9_-]+)/result/finish$")
+_CAMPAIGN_RE = re.compile(r"^/v1/campaigns/([A-Za-z0-9_-]+)$")
+_CAMPAIGN_DAG_RE = re.compile(r"^/v1/campaigns/([A-Za-z0-9_-]+)/dag$")
 
 
 def _validate_payloads(kind: str, payloads: list) -> None:
@@ -97,8 +109,18 @@ def _validate_payloads(kind: str, payloads: list) -> None:
             HPLConfig.from_dict({**payload, **depth0})
 
 
+def _parse_depends_on(body: dict) -> list:
+    depends_on = body.get("depends_on", [])
+    if (not isinstance(depends_on, list)
+            or not all(isinstance(p, str) and p for p in depends_on)):
+        raise MalformedRequestError(
+            "'depends_on' must be a list of job id strings"
+        )
+    return depends_on
+
+
 def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
-                                           float, int]:
+                                           float, int, list]:
     if not isinstance(body, dict):
         raise MalformedRequestError("submission body must be a JSON object")
     try:
@@ -108,6 +130,7 @@ def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
         raise MalformedRequestError(
             f"bad timeout/max_retries: {exc}"
         ) from None
+    depends_on = _parse_depends_on(body)
     if "sweep" in body:
         spec = body["sweep"]
         if not isinstance(spec, dict) or "kind" not in spec:
@@ -119,10 +142,12 @@ def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
             axes=spec.get("axes", {}),
             base=spec.get("base", {}),
         )
-        return sweep.kind, sweep.expand(), sweep, timeout, max_retries
+        return (sweep.kind, sweep.expand(), sweep, timeout, max_retries,
+                depends_on)
     if "kind" in body:
         payload = body.get("payload", {})
-        return body["kind"], [payload], None, timeout, max_retries
+        return body["kind"], [payload], None, timeout, max_retries, \
+            depends_on
     raise MalformedRequestError(
         "submission must carry either 'kind' + 'payload' or a 'sweep'"
     )
@@ -241,9 +266,28 @@ class _Handler(BaseHTTPRequestHandler):
                 "nshards": self.service.nshards,
                 "shards": shards,
                 "degraded": degraded,
+                # Per-state queue depths (BLOCKED included), merged
+                # across shards -- the one-call liveness + load probe.
+                "queue": self.service.store.counts(),
             }
         if path in ("/v1/queue", "/v1/jobs"):
             return 200, self._queue_page(query)
+        if path == "/v1/campaigns":
+            return 200, {
+                "campaigns": [v.to_dict()
+                              for v in self.service.list_campaigns()],
+            }
+        m = _CAMPAIGN_DAG_RE.match(path)
+        if m:
+            return 200, {
+                "dag": self.service.campaign_dag(m.group(1)).to_dict(),
+            }
+        m = _CAMPAIGN_RE.match(path)
+        if m:
+            return 200, {
+                "campaign":
+                    self.service.campaign_view(m.group(1)).to_dict(),
+            }
         m = _JOB_RE.match(path)
         if m:
             return 200, {"job": self.service.job_view(m.group(1)).to_dict()}
@@ -326,19 +370,33 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, {"job": JobView.from_job(job).to_dict()}
         if path == "/v1/jobs":
             body = self._read_body()
-            kind, payloads, sweep, timeout, max_retries = \
+            kind, payloads, sweep, timeout, max_retries, depends_on = \
                 _parse_submission(body)
             _validate_payloads(kind, payloads)
             if sweep is not None:
                 receipt = self.service.submit_sweep(
-                    sweep, timeout=timeout, max_retries=max_retries
+                    sweep, timeout=timeout, max_retries=max_retries,
+                    depends_on=depends_on,
                 )
             else:
                 receipt = self.service.submit(
                     kind, payloads[0], timeout=timeout,
-                    max_retries=max_retries,
+                    max_retries=max_retries, depends_on=depends_on,
                 )
             return 200, {"receipt": receipt.to_dict()}
+        if path == "/v1/campaigns":
+            body = self._read_body()
+            try:
+                timeout = float(body.pop("timeout", 0.0))
+                max_retries = int(body.pop("max_retries", 2))
+            except (TypeError, ValueError) as exc:
+                raise MalformedRequestError(
+                    f"bad timeout/max_retries: {exc}"
+                ) from None
+            view = self.service.submit_campaign(
+                body, timeout=timeout, max_retries=max_retries
+            )
+            return 200, {"campaign": view.to_dict()}
         if path == "/v1/leases":
             body = self._read_body()
             worker = body.get("worker", "")
@@ -391,12 +449,11 @@ class _Handler(BaseHTTPRequestHandler):
             return 200, {"job": JobView.from_job(job).to_dict()}
         m = _CANCEL_RE.match(path)
         if m:
-            job = self.service.job(m.group(1))  # 404 on unknown id
-            cancelled = self.service.cancel([job.id])
-            return 200, {
-                "job": self.service.job_view(job.id).to_dict(),
-                "cancelled": bool(cancelled),
-            }
+            # Idempotent: cancelling an already-terminal job is a 200
+            # with the current view and ``"cancelled": false``; only an
+            # unknown id is a 404.
+            flipped, view = self.service.cancel_job(m.group(1))
+            return 200, {"job": view.to_dict(), "cancelled": flipped}
         raise UnknownRouteError(f"no such endpoint: POST {path}")
 
 
@@ -467,6 +524,9 @@ class ServiceHTTPServer:
                 backoff_base=self.service.backoff_base,
                 name=f"serve-s{i}" if len(workdirs) > 1 else "serve",
                 cache_dir=self.service.cache.root,
+                # The service's resolver spans every shard, so a job
+                # finishing on this shard releases children anywhere.
+                dag=self.service.dag,
             )
             thread = threading.Thread(
                 target=pool.run,

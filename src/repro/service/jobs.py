@@ -1,11 +1,14 @@
 """The job model: one schedulable benchmark run with a lifecycle.
 
 A :class:`Job` is a *kind* (``run`` / ``sim`` / ``scale`` / ``fact`` /
-``probe``) plus a JSON payload of parameters -- for ``run`` jobs the
-payload is exactly :meth:`repro.config.HPLConfig.to_dict` output.  Jobs
-move through ``PENDING -> RUNNING -> DONE | FAILED | CANCELLED``; a
-failed attempt within the retry budget moves the job back to
-``PENDING`` with a backoff timestamp (``not_before``).
+``reduce`` / ``probe``) plus a JSON payload of parameters -- for ``run``
+jobs the payload is exactly :meth:`repro.config.HPLConfig.to_dict`
+output.  Jobs move through
+``PENDING -> RUNNING -> DONE | FAILED | CANCELLED``; a failed attempt
+within the retry budget moves the job back to ``PENDING`` with a
+backoff timestamp (``not_before``).  A job submitted with
+``depends_on`` starts in ``BLOCKED`` instead and only turns ``PENDING``
+once every parent is ``DONE`` (see :mod:`repro.service.dag`).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import uuid
 class JobState(str, enum.Enum):
     """Lifecycle state of a job (string-valued for storage and display)."""
 
+    BLOCKED = "BLOCKED"
     PENDING = "PENDING"
     RUNNING = "RUNNING"
     DONE = "DONE"
@@ -29,6 +33,11 @@ class JobState(str, enum.Enum):
     @property
     def terminal(self) -> bool:
         return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+    @property
+    def active(self) -> bool:
+        """Non-terminal: the job still occupies the queue."""
+        return not self.terminal
 
 
 #: Job kinds that bypass the result cache and active-job dedup: probes
@@ -66,6 +75,12 @@ class Job:
         lease_expires: Unix time the holding lease lapses; after it a
             still-RUNNING job is requeued and late reports are rejected.
         created / updated: Unix timestamps.
+        depends_on: Parent job ids; the job stays BLOCKED until every
+            parent is DONE (see :mod:`repro.service.dag`).
+        parent_results: Transient parent outputs injected by the worker
+            pool just before launch (``{parent_id: {"payload", "result"}}``
+            for reduce jobs and ``$winner`` placeholders).  Never
+            persisted -- not part of :data:`COLUMNS`.
     """
 
     id: str
@@ -85,6 +100,9 @@ class Job:
     lease_expires: float = 0.0
     created: float = 0.0
     updated: float = 0.0
+    depends_on: list = dataclasses.field(default_factory=list)
+    parent_results: dict | None = dataclasses.field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.created:
@@ -102,13 +120,14 @@ class Job:
             self.timeout, self.not_before, self.error, self.result_key,
             int(self.cached), self.worker, self.lease_id,
             self.lease_expires, self.created, self.updated,
+            json.dumps(self.depends_on),
         )
 
     @classmethod
     def from_row(cls, row) -> "Job":
         (jid, kind, payload, key, state, attempts, max_retries, timeout,
          not_before, error, result_key, cached, worker, lease_id,
-         lease_expires, created, updated) = row
+         lease_expires, created, updated, depends_on) = row
         return cls(
             id=jid, kind=kind, payload=json.loads(payload), key=key,
             state=JobState(state), attempts=attempts,
@@ -116,14 +135,14 @@ class Job:
             not_before=not_before, error=error, result_key=result_key,
             cached=bool(cached), worker=worker, lease_id=lease_id,
             lease_expires=lease_expires, created=created,
-            updated=updated,
+            updated=updated, depends_on=json.loads(depends_on or "[]"),
         )
 
 
 COLUMNS = (
     "id", "kind", "payload", "key", "state", "attempts", "max_retries",
     "timeout", "not_before", "error", "result_key", "cached", "worker",
-    "lease_id", "lease_expires", "created", "updated",
+    "lease_id", "lease_expires", "created", "updated", "depends_on",
 )
 
 

@@ -220,6 +220,45 @@ class ShardedStore:
             return False
         return shard.cancel(job_id)
 
+    # -- DAG edges (dependency-aware release) ----------------------------
+    #
+    # Edges are stored child-side on the *child's* shard, but parents and
+    # children hash to arbitrary shards, so the cross-shard release rule
+    # is: ask every shard for the parent's children, and route each
+    # child's own transition back to the shard it lives on.  The
+    # terminal hook installed by :meth:`set_terminal_hook` is what makes
+    # a parent completing on shard A release a child on shard B.
+
+    def set_terminal_hook(self, callback) -> None:
+        """Install the terminal-transition callback on every shard."""
+        for shard in self.shards:
+            shard.set_terminal_hook(callback)
+
+    def children_of(self, parent_id: str) -> list[Job]:
+        """BLOCKED children of ``parent_id``, unioned across shards."""
+        children: list[Job] = []
+        for shard in self.shards:
+            try:
+                children.extend(shard.children_of(parent_id))
+            except sqlite3.OperationalError:
+                continue  # degraded shard: the recovery sweep catches up
+        children.sort(key=lambda j: (j.created, j.id))
+        return children
+
+    def release(self, job_id: str) -> bool:
+        try:
+            shard = self._shard_of(job_id)
+        except UnknownJobError:
+            return False
+        return shard.release(job_id)
+
+    def cancel_from_parent(self, job_id: str, parent_id: str) -> bool:
+        try:
+            shard = self._shard_of(job_id)
+        except UnknownJobError:
+            return False
+        return shard.cancel_from_parent(job_id, parent_id)
+
     # -- leases (remote workers) -----------------------------------------
 
     def claim_batch(self, worker: str, limit: int = 1, ttl: float = 60.0,
@@ -410,7 +449,7 @@ class ShardedStore:
 
     def outstanding(self) -> int:
         c = self.counts()
-        return c[JobState.PENDING.value] + c[JobState.RUNNING.value]
+        return sum(c[s.value] for s in JobState if not s.terminal)
 
     # -- operations ------------------------------------------------------
 
@@ -434,8 +473,8 @@ class ShardedStore:
                 entry.update(
                     ok=True,
                     counts=counts,
-                    outstanding=counts[JobState.PENDING.value]
-                    + counts[JobState.RUNNING.value],
+                    outstanding=sum(counts[s.value] for s in JobState
+                                    if not s.terminal),
                     leases=len(leases),
                 )
             stats.append(entry)

@@ -49,7 +49,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_id TEXT NOT NULL DEFAULT '',
     lease_expires REAL NOT NULL DEFAULT 0,
     created REAL NOT NULL,
-    updated REAL NOT NULL
+    updated REAL NOT NULL,
+    depends_on TEXT NOT NULL DEFAULT '[]'
 );
 CREATE TABLE IF NOT EXISTS leases (
     id TEXT PRIMARY KEY,
@@ -57,17 +58,25 @@ CREATE TABLE IF NOT EXISTS leases (
     created REAL NOT NULL,
     expires REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS deps (
+    child TEXT NOT NULL,
+    parent TEXT NOT NULL,
+    PRIMARY KEY (child, parent)
+);
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, not_before, created);
 CREATE INDEX IF NOT EXISTS jobs_key ON jobs (key);
+CREATE INDEX IF NOT EXISTS deps_parent ON deps (parent);
 """
 
-#: Columns a pre-lease database is missing; added in place on open so a
+#: Columns an older database is missing; added in place on open so a
 #: workdir created by an older service keeps working under this one.
 _MIGRATIONS = (
     ("lease_id", "ALTER TABLE jobs ADD COLUMN lease_id"
                  " TEXT NOT NULL DEFAULT ''"),
     ("lease_expires", "ALTER TABLE jobs ADD COLUMN lease_expires"
                       " REAL NOT NULL DEFAULT 0"),
+    ("depends_on", "ALTER TABLE jobs ADD COLUMN depends_on"
+                   " TEXT NOT NULL DEFAULT '[]'"),
 )
 
 _COLS = ", ".join(COLUMNS)
@@ -115,6 +124,11 @@ class JobStore:
         self._events_lock = threading.Lock()
         self._staging: dict[str, _StagedUpload] = {}
         self._staging_lock = threading.Lock()
+        #: Callback fired (outside any transaction) after a job commits a
+        #: terminal transition.  The DAG resolver hangs off this to
+        #: release or cancel dependent jobs event-driven; see
+        #: :meth:`set_terminal_hook`.
+        self.on_terminal = None
         self._connection()  # create the schema eagerly
 
     # -- connection management -------------------------------------------
@@ -159,6 +173,39 @@ class JobStore:
         with open(self.events_path) as fh:
             return [json.loads(line) for line in fh if line.strip()]
 
+    # -- DAG hook --------------------------------------------------------
+
+    def set_terminal_hook(self, callback) -> None:
+        """Install ``callback(job)``, fired after terminal transitions.
+
+        The callback runs after the transition's COMMIT and outside any
+        transaction, so it may freely read and write the store (the DAG
+        resolver releases children from it).  A callback failure is
+        logged to the audit log and swallowed: completing a job must
+        never fail because a dependent shard is wedged -- the recovery
+        sweep reconciles missed releases later.
+        """
+        self.on_terminal = callback
+
+    def _fire_terminal(self, job: Job) -> None:
+        callback = self.on_terminal
+        if callback is None or not job.state.terminal:
+            return
+        try:
+            callback(job)
+        except Exception as exc:  # noqa: BLE001 -- see set_terminal_hook
+            self._event(job.id, "dag_hook_error",
+                        error=f"{type(exc).__name__}: {exc}"[:200])
+
+    @staticmethod
+    def _insert_deps(conn, job: Job) -> None:
+        """Record the job's parent edges child-side, in the caller's txn."""
+        for parent in job.depends_on:
+            conn.execute(
+                "INSERT OR IGNORE INTO deps (child, parent) VALUES (?, ?)",
+                (job.id, parent),
+            )
+
     # -- writes ----------------------------------------------------------
 
     def add(self, job: Job) -> Job:
@@ -169,6 +216,7 @@ class JobStore:
                 f"INSERT INTO jobs ({_COLS}) VALUES ({_PLACEHOLDERS})",
                 job.to_row(),
             )
+            self._insert_deps(conn, job)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
@@ -184,16 +232,17 @@ class JobStore:
         transaction, so two submitters racing on the same content key
         (threads of an HTTP front-end, or separate processes) can never
         both queue a job for it.  Returns ``(job, None)`` when the job
-        was inserted and ``(None, existing)`` when a PENDING/RUNNING
-        twin was found instead.
+        was inserted and ``(None, existing)`` when an active
+        (BLOCKED/PENDING/RUNNING) twin was found instead.
         """
         conn = self._connection()
         conn.execute("BEGIN IMMEDIATE")
         try:
             row = conn.execute(
-                f"SELECT {_COLS} FROM jobs WHERE key = ? AND state IN (?, ?)"
-                " ORDER BY created LIMIT 1",
-                (job.key, JobState.PENDING.value, JobState.RUNNING.value),
+                f"SELECT {_COLS} FROM jobs WHERE key = ?"
+                " AND state IN (?, ?, ?) ORDER BY created LIMIT 1",
+                (job.key, JobState.BLOCKED.value, JobState.PENDING.value,
+                 JobState.RUNNING.value),
             ).fetchone()
             if row is not None:
                 conn.execute("COMMIT")
@@ -202,6 +251,7 @@ class JobStore:
                 f"INSERT INTO jobs ({_COLS}) VALUES ({_PLACEHOLDERS})",
                 job.to_row(),
             )
+            self._insert_deps(conn, job)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
@@ -274,12 +324,16 @@ class JobStore:
         return self.get(job_id)
 
     def mark_done(self, job_id: str, result_key: str) -> Job:
-        return self._set(job_id, "done", state=JobState.DONE.value,
-                         result_key=result_key, error="")
+        job = self._set(job_id, "done", state=JobState.DONE.value,
+                        result_key=result_key, error="")
+        self._fire_terminal(job)
+        return job
 
     def mark_failed(self, job_id: str, error: str) -> Job:
-        return self._set(job_id, "failed", state=JobState.FAILED.value,
-                         error=error)
+        job = self._set(job_id, "failed", state=JobState.FAILED.value,
+                        error=error)
+        self._fire_terminal(job)
+        return job
 
     def requeue(self, job_id: str, error: str, not_before: float) -> Job:
         """Put a failed attempt back in the queue with a backoff."""
@@ -287,16 +341,22 @@ class JobStore:
                          error=error, not_before=not_before)
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a PENDING job; returns False if it already left PENDING."""
+        """Cancel a BLOCKED/PENDING job.
+
+        Returns False when the job already left the queue (RUNNING or
+        terminal) -- cancelling an already-terminal job is a no-op, not
+        an error, so racing cancellers (a user and the DAG failure
+        propagation) are both safe.
+        """
         conn = self._connection()
         now = time.time()
         conn.execute("BEGIN IMMEDIATE")
         try:
             cur = conn.execute(
                 "UPDATE jobs SET state = ?, updated = ? WHERE id = ?"
-                " AND state = ?",
+                " AND state IN (?, ?)",
                 (JobState.CANCELLED.value, now, job_id,
-                 JobState.PENDING.value),
+                 JobState.BLOCKED.value, JobState.PENDING.value),
             )
             hit = cur.rowcount > 0
             conn.execute("COMMIT")
@@ -305,6 +365,81 @@ class JobStore:
             raise
         if hit:
             self._event(job_id, "cancelled")
+            self._fire_terminal(self.get(job_id))
+        return hit
+
+    # -- DAG edges (dependency-aware release) ----------------------------
+
+    def children_of(self, parent_id: str) -> list[Job]:
+        """BLOCKED jobs that declare ``parent_id`` as a parent.
+
+        Edges are stored child-side (in this store's ``deps`` table), so
+        a sharded deployment asks every shard and unions the answers --
+        see :meth:`ShardedStore.children_of`.
+        """
+        cols = ", ".join(f"jobs.{c}" for c in COLUMNS)
+        rows = self._connection().execute(
+            f"SELECT {cols} FROM jobs JOIN deps ON deps.child = jobs.id"
+            " WHERE deps.parent = ? AND jobs.state = ?"
+            " ORDER BY jobs.created, jobs.id",
+            (parent_id, JobState.BLOCKED.value),
+        ).fetchall()
+        return [Job.from_row(r) for r in rows]
+
+    def release(self, job_id: str) -> bool:
+        """Move a BLOCKED job to PENDING (all parents DONE).
+
+        The guarded UPDATE makes release exactly-once: two resolvers
+        racing on the same child (concurrent parent completions, or a
+        recovery sweep racing live traffic) see exactly one winning
+        rowcount, and only the winner logs the ``released`` event.
+        """
+        conn = self._connection()
+        now = time.time()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, updated = ? WHERE id = ?"
+                " AND state = ?",
+                (JobState.PENDING.value, now, job_id,
+                 JobState.BLOCKED.value),
+            )
+            hit = cur.rowcount > 0
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if hit:
+            self._event(job_id, "released")
+        return hit
+
+    def cancel_from_parent(self, job_id: str, parent_id: str) -> bool:
+        """Cancel a BLOCKED descendant of a FAILED/CANCELLED parent.
+
+        Exactly-once by the same guarded-UPDATE argument as
+        :meth:`release`; only the winner logs the single
+        ``parent_failed`` audit event.  Unlike :meth:`cancel` this does
+        *not* fire the terminal hook -- the resolver that calls it owns
+        the whole descendant closure and would only re-enter itself.
+        """
+        conn = self._connection()
+        now = time.time()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, updated = ? WHERE id = ?"
+                " AND state = ?",
+                (JobState.CANCELLED.value, now, job_id,
+                 JobState.BLOCKED.value),
+            )
+            hit = cur.rowcount > 0
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if hit:
+            self._event(job_id, "parent_failed", parent=parent_id,
+                        state=JobState.CANCELLED.value)
         return hit
 
     # -- leases (remote workers) -----------------------------------------
@@ -467,6 +602,7 @@ class JobStore:
             raise
         self._event(job_id, "done", state=job.state.value, lease=lease_id)
         self.discard_staged(job_id)
+        self._fire_terminal(job)
         return job
 
     def fail_leased(self, job_id: str, lease_id: str, error: str,
@@ -507,6 +643,7 @@ class JobStore:
         self._event(job_id, event, state=job.state.value, lease=lease_id,
                     error=error.splitlines()[-1][:200] if error else "")
         self.discard_staged(job_id)
+        self._fire_terminal(job)
         return job
 
     def expire_leases(self, now: float | None = None) -> list[Job]:
@@ -564,6 +701,9 @@ class JobStore:
             # A dead worker's half-uploaded result must not outlive its
             # lease: the requeued job will stream a fresh one.
             self.discard_staged(job.id)
+            # Only jobs FAILED here (retry budget spent) are terminal;
+            # requeued ones stay active, so their children stay BLOCKED.
+            self._fire_terminal(job)
         return [job for job, _ in recovered]
 
     # -- staged result uploads (chunk streaming) -------------------------
@@ -762,18 +902,19 @@ class JobStore:
         return out
 
     def active_by_key(self, key: str) -> Job | None:
-        """The PENDING/RUNNING job with this content key, if any (dedup)."""
+        """The active (non-terminal) job with this content key (dedup)."""
         row = self._connection().execute(
-            f"SELECT {_COLS} FROM jobs WHERE key = ? AND state IN (?, ?)"
+            f"SELECT {_COLS} FROM jobs WHERE key = ? AND state IN (?, ?, ?)"
             " ORDER BY created LIMIT 1",
-            (key, JobState.PENDING.value, JobState.RUNNING.value),
+            (key, JobState.BLOCKED.value, JobState.PENDING.value,
+             JobState.RUNNING.value),
         ).fetchone()
         return Job.from_row(row) if row else None
 
     def outstanding(self) -> int:
-        """Number of non-terminal jobs (PENDING in backoff included)."""
+        """Number of non-terminal jobs (BLOCKED and backoff included)."""
         c = self.counts()
-        return c[JobState.PENDING.value] + c[JobState.RUNNING.value]
+        return sum(c[s.value] for s in JobState if not s.terminal)
 
     def close(self) -> None:
         """Close the calling thread's connection (others are untouched)."""

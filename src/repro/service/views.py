@@ -40,6 +40,7 @@ class JobView:
     worker: str
     created: float
     updated: float
+    depends_on: tuple = ()
 
     @classmethod
     def from_job(cls, job: Job) -> "JobView":
@@ -50,15 +51,23 @@ class JobView:
             payload=job.payload, error=one_line(job.error),
             result_key=job.result_key, worker=job.worker,
             created=job.created, updated=job.updated,
+            depends_on=tuple(job.depends_on),
         )
 
     def to_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        out["depends_on"] = list(self.depends_on)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobView":
-        return cls(**{f.name: data[f.name]
-                      for f in dataclasses.fields(cls)})
+        # ``depends_on`` is tolerated missing so views from a pre-DAG
+        # server still parse.
+        return cls(**{
+            f.name: (tuple(data.get("depends_on", ()))
+                     if f.name == "depends_on" else data[f.name])
+            for f in dataclasses.fields(cls)
+        })
 
     def to_job(self) -> Job:
         """A :class:`Job` a *remote* worker can execute.
@@ -75,6 +84,7 @@ class JobView:
             error=self.error, result_key=self.result_key,
             cached=self.cached, worker=self.worker,
             created=self.created, updated=self.updated,
+            depends_on=list(self.depends_on),
         )
 
 
@@ -159,4 +169,98 @@ class ResultView:
             job=JobView.from_dict(data["job"]),
             ready=data["ready"], result=data["result"],
             stream=data.get("stream"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StageView:
+    """One campaign stage's live progress.
+
+    ``counts`` maps every job state to how many of the stage's jobs are
+    in it; ``state`` collapses that to one word with failure dominating:
+    ``failed`` > ``cancelled`` > ``done`` (all) > ``running`` >
+    ``pending`` > ``blocked``.
+    """
+
+    name: str
+    kind: str
+    after: tuple
+    job_ids: tuple
+    counts: dict
+    state: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "after": list(self.after),
+            "job_ids": list(self.job_ids),
+            "counts": dict(self.counts),
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageView":
+        return cls(
+            name=data["name"], kind=data["kind"],
+            after=tuple(data["after"]), job_ids=tuple(data["job_ids"]),
+            counts=data["counts"], state=data["state"],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignView:
+    """One campaign: its identity plus per-stage progress."""
+
+    id: str
+    name: str
+    created: float
+    state: str
+    stages: tuple
+    njobs: int
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "created": self.created,
+            "state": self.state,
+            "stages": [s.to_dict() for s in self.stages],
+            "njobs": self.njobs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignView":
+        return cls(
+            id=data["id"], name=data["name"], created=data["created"],
+            state=data["state"],
+            stages=tuple(StageView.from_dict(s) for s in data["stages"]),
+            njobs=data["njobs"],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DagView:
+    """A campaign's dependency graph: one node per job, edges inline.
+
+    ``nodes`` is a tuple of dicts ``{"id", "stage", "kind", "state",
+    "depends_on"}`` in submission (topological) order -- the shape is a
+    plain adjacency list so clients can render or analyze it without
+    further calls.
+    """
+
+    campaign_id: str
+    nodes: tuple
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "nodes": [dict(n) for n in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DagView":
+        return cls(
+            campaign_id=data["campaign_id"],
+            nodes=tuple(data["nodes"]),
         )

@@ -35,6 +35,8 @@ from typing import Callable
 
 from ..errors import ServiceError, UnknownJobKindError
 from .cache import ResultCache, payload_key
+from .dag import (DagResolver, has_placeholders, needs_parent_results,
+                  resolve_payload)
 from .jobs import UNCACHED_KINDS, Job, JobState
 from .store import JobStore
 from .streams import DEFAULT_INLINE_MAX as _DEFAULT_INLINE_MAX
@@ -176,11 +178,58 @@ def _fact_runner(payload: dict, job: Job) -> dict:
     }
 
 
+def _reduce_runner(payload: dict, job: Job) -> dict:
+    """Pick the winning parent by a result metric (campaign stage 2).
+
+    The pool injects ``job.parent_results`` before launch (a reduce job
+    only ever runs after all its parents are DONE).  The payload names
+    the ``metric`` to rank by and the ``mode`` (``max``, the default,
+    or ``min``); the result carries the winning parent's id and payload
+    so downstream ``$winner`` placeholders can be resolved from it.
+    """
+    parents = job.parent_results or {}
+    if not parents:
+        raise ServiceError(
+            "reduce job has no parent results (was it submitted with"
+            " depends_on?)"
+        )
+    metric = payload.get("metric")
+    if not metric:
+        raise ServiceError("reduce payload needs a 'metric' to rank by")
+    mode = payload.get("mode", "max")
+    if mode not in ("max", "min"):
+        raise ServiceError(f"reduce mode must be 'max' or 'min', got {mode!r}")
+    ranked = [
+        (pid, info) for pid, info in sorted(parents.items())
+        if isinstance(info.get("result"), dict)
+        and metric in info["result"]
+    ]
+    if not ranked:
+        raise ServiceError(
+            f"no parent result carries metric {metric!r}"
+        )
+    pick = max if mode == "max" else min
+    winner_id, winner = pick(ranked, key=lambda kv: kv[1]["result"][metric])
+    return {
+        "metric": metric,
+        "mode": mode,
+        "value": winner["result"][metric],
+        "winner_job": winner_id,
+        "winner_payload": winner["payload"],
+        "candidates": len(ranked),
+    }
+
+
 def _probe_runner(payload: dict, job: Job) -> dict:
     """Pool self-test job: behaves as its payload instructs."""
     behavior = payload.get("behavior", "ok")
     if behavior == "ok":
         return {"ok": True, "attempt": job.attempts}
+    if behavior == "echo":
+        # Returns the payload itself (sans ``behavior``) -- gives DAG
+        # and reduce tests a metric-bearing result without running a
+        # simulation.
+        return {k: v for k, v in payload.items() if k != "behavior"}
     if behavior == "sleep":
         time.sleep(float(payload.get("seconds", 1.0)))
         return {"ok": True, "slept": payload.get("seconds", 1.0)}
@@ -209,6 +258,7 @@ RUNNERS.update({
     "sim": _sim_runner,
     "scale": _scale_runner,
     "fact": _fact_runner,
+    "reduce": _reduce_runner,
     "probe": _probe_runner,
 })
 
@@ -228,7 +278,10 @@ def _child_main(cache_dir: str, job: Job, conn) -> None:
     """
     try:
         result = runner_for(job.kind)(job.payload, job)
-        key = payload_key(job.kind, job.payload)
+        # The job's stored key, which folds in parent ids for dependent
+        # jobs (and was computed over the placeholder form of the
+        # payload, not the resolved one the runner just saw).
+        key = job.key or payload_key(job.kind, job.payload)
         ResultCache(cache_dir).put(key, job.kind, job.payload, result)
         conn.send(("ok", key))
     except BaseException:
@@ -282,6 +335,7 @@ class WorkerPool:
         backoff_base: float = 0.5,
         name: str = "pool",
         cache_dir=None,
+        dag: DagResolver | None = None,
     ) -> None:
         if nworkers < 1:
             raise ServiceError(f"nworkers must be >= 1, got {nworkers}")
@@ -294,6 +348,14 @@ class WorkerPool:
             os.path.join(self.workdir, "cache")
             if cache_dir is None else os.fspath(cache_dir)
         )
+        # A sharded service also passes its resolver (spanning the
+        # logical ShardedStore), so a parent finishing in this pool
+        # releases children that hashed to *other* shards; a standalone
+        # pool resolves over its own store.  Either way the hook hangs
+        # off this pool's own store handle -- every terminal transition
+        # this pool commits drives the DAG.
+        self.dag = dag if dag is not None else DagResolver(self.store)
+        self.store.set_terminal_hook(self.dag.on_terminal)
         self.nworkers = nworkers
         self.poll_interval = poll_interval
         self.backoff_base = backoff_base
@@ -306,19 +368,24 @@ class WorkerPool:
 
     @classmethod
     def from_options(cls, workdir, options: WorkerOptions,
-                     cache_dir=None) -> "WorkerPool":
+                     cache_dir=None, dag: DagResolver | None = None,
+                     ) -> "WorkerPool":
         return cls(
             workdir, nworkers=options.n,
             poll_interval=options.poll_interval,
             backoff_base=options.backoff_base, name=options.name,
-            cache_dir=cache_dir,
+            cache_dir=cache_dir, dag=dag,
         )
 
     # -- outcome handling ------------------------------------------------
 
     def _finish(self, slot: _Slot, summary: PoolSummary,
                 error: str | None, result_key: str | None) -> None:
-        job = slot.job
+        self._record_outcome(slot.job, summary, error, result_key)
+
+    def _record_outcome(self, job: Job, summary: PoolSummary,
+                        error: str | None,
+                        result_key: str | None) -> None:
         if error is None and result_key is not None:
             self.store.mark_done(job.id, result_key)
             summary.completed += 1
@@ -371,6 +438,34 @@ class WorkerPool:
                     f" (exit code {slot.process.exitcode})", None,
                 )
         self._slots = live
+
+    def _prepare(self, job: Job) -> None:
+        """Inject parent results for reduce / ``$winner`` jobs.
+
+        Reads parents through the resolver's *logical* store (a parent
+        may live on another shard) and their results from the shared
+        cache.  A released job's parents are all DONE, so a missing
+        result here is a genuine fault -- the raised
+        :class:`ServiceError` fails the attempt through the normal
+        retry policy.
+        """
+        if not needs_parent_results(job):
+            return
+        parent_results: dict = {}
+        for pid in job.depends_on:
+            parent = self.dag.store.get(pid)
+            record = self.cache.get(parent.result_key) \
+                if parent.result_key else None
+            if parent.state is not JobState.DONE or record is None:
+                raise ServiceError(
+                    f"parent {pid} result unavailable"
+                    f" (state {parent.state.value})"
+                )
+            parent_results[pid] = {"payload": parent.payload,
+                                   "result": record["result"]}
+        job.parent_results = parent_results
+        if has_placeholders(job.payload):
+            job.payload = resolve_payload(job.payload, parent_results)
 
     def _launch(self, job: Job) -> None:
         self.store.log_event(job.id, "launched", worker=job.worker)
@@ -434,6 +529,13 @@ class WorkerPool:
                         self.store.mark_done(job.id, job.key)
                         summary.completed += 1
                         summary.fulfilled_from_cache += 1
+                        continue
+                    try:
+                        self._prepare(job)
+                    except ServiceError as exc:
+                        self._record_outcome(
+                            job, summary, f"dag input error: {exc}", None
+                        )
                         continue
                     self._launch(job)
                 if drain and not self._slots and not self.store.outstanding():

@@ -1,0 +1,154 @@
+"""Property-based checks for DAG release and failure propagation.
+
+Random DAGs (including diamonds and, at 3 shards, cross-shard edges)
+are drained by a synchronous claim/complete loop driving the store
+directly.  Invariants, per hypothesis example:
+
+* a job is never claimable before every parent is ``DONE``;
+* the claim sequence is a valid topological order of the surviving
+  subgraph;
+* a failed node cancels exactly its descendant set -- nothing more,
+  nothing less -- with exactly one ``parent_failed`` audit event each;
+* every release is witnessed by exactly one ``released`` audit event;
+* no job is left ``BLOCKED`` once the queue is drained.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import JobState, Service
+
+
+@st.composite
+def dags(draw):
+    """A DAG as (parents-per-node, index-of-failing-node-or-None)."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    parents = [[]]
+    for i in range(1, n):
+        k = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        ps = draw(st.lists(st.integers(min_value=0, max_value=i - 1),
+                           min_size=k, max_size=k, unique=True))
+        parents.append(sorted(ps))
+    fail = draw(st.one_of(st.none(),
+                          st.integers(min_value=0, max_value=n - 1)))
+    return parents, fail
+
+
+def _descendants(parents, root):
+    children = {i: [] for i in range(len(parents))}
+    for child, ps in enumerate(parents):
+        for p in ps:
+            children[p].append(child)
+    seen, frontier = set(), [root]
+    while frontier:
+        node = frontier.pop()
+        for child in children[node]:
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen
+
+
+def _drain(svc, ids, fail_id):
+    """Claim/complete synchronously; return the claim order."""
+    state_of = lambda jid: svc.job(jid).state  # noqa: E731
+    order = []
+    while True:
+        job = svc.store.claim("w0")
+        if job is None:
+            break
+        # Invariant: nothing is claimable before its parents are DONE.
+        for pid in job.depends_on:
+            assert state_of(pid) is JobState.DONE
+        order.append(job.id)
+        if job.id == fail_id:
+            svc.store.mark_failed(job.id, "boom")
+        else:
+            svc.store.mark_done(job.id, "rk")
+    return order
+
+
+def _check(parents, fail, shards):
+    with tempfile.TemporaryDirectory() as tmp:
+        svc = Service(Path(tmp) / "svc", shards=shards)
+        ids = []
+        for i, ps in enumerate(parents):
+            receipt = svc.submit("probe", {"behavior": "echo", "tag": i},
+                                 depends_on=[ids[p] for p in ps])
+            ids.append(receipt.new[0])
+
+        fail_id = ids[fail] if fail is not None else None
+        order = _drain(svc, ids, fail_id)
+
+        # The claim sequence is a valid topological order.
+        position = {jid: n for n, jid in enumerate(order)}
+        for child, ps in enumerate(parents):
+            if ids[child] not in position:
+                continue
+            for p in ps:
+                assert position[ids[p]] < position[ids[child]]
+
+        doomed = _descendants(parents, fail) if fail is not None else set()
+        events = list(svc.store.events())
+        released = [e["job"] for e in events if e["event"] == "released"]
+        parent_failed = [e["job"] for e in events
+                        if e["event"] == "parent_failed"]
+
+        for i, jid in enumerate(ids):
+            state = svc.job(jid).state
+            if i == fail:
+                assert state is JobState.FAILED
+            elif i in doomed:
+                assert state is JobState.CANCELLED
+                assert parent_failed.count(jid) == 1
+            else:
+                assert state is JobState.DONE
+                assert parent_failed.count(jid) == 0
+                # Children (nodes with parents) were released exactly
+                # once; roots were born PENDING and never released.
+                assert released.count(jid) == (1 if parents[i] else 0)
+            assert state is not JobState.BLOCKED
+
+        assert svc.store.counts()["BLOCKED"] == 0
+        assert svc.store.outstanding() == 0
+
+
+@given(dag=dags())
+@settings(max_examples=100, deadline=None)
+def test_single_shard_dag_invariants(dag):
+    parents, fail = dag
+    _check(parents, fail, shards=1)
+
+
+@given(dag=dags())
+@settings(max_examples=100, deadline=None)
+def test_three_shard_dag_invariants(dag):
+    parents, fail = dag
+    _check(parents, fail, shards=3)
+
+
+@given(fail_mid=st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_diamond_is_exercised_explicitly(fail_mid):
+    # Diamonds appear in the random draw, but pin the canonical one so
+    # a strategy shift can never silently drop the shape.
+    parents = [[], [0], [0], [1, 2]]
+    _check(parents, fail=1 if fail_mid else None, shards=3)
+
+
+@pytest.mark.parametrize("shards", [1, 3])
+def test_wide_fanout_releases_every_child(shards):
+    with tempfile.TemporaryDirectory() as tmp:
+        svc = Service(Path(tmp) / "svc", shards=shards)
+        root = svc.submit("probe", {"behavior": "echo", "tag": 0}).new[0]
+        kids = [svc.submit("probe", {"behavior": "echo", "tag": i},
+                           depends_on=[root]).new[0]
+                for i in range(1, 13)]
+        _drain(svc, [root] + kids, fail_id=None)
+        assert all(svc.job(k).state is JobState.DONE for k in kids)

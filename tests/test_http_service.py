@@ -96,7 +96,7 @@ class TestEndpoints:
         page = client.queue()
         assert isinstance(page, QueuePage)
         assert set(page.counts) == {
-            "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED"
+            "BLOCKED", "PENDING", "RUNNING", "DONE", "FAILED", "CANCELLED"
         }
         assert page.outstanding >= 0
 

@@ -383,8 +383,11 @@ class TestShardsCLI:
         lines = [ln for ln in out.splitlines() if ln
                  and ln[0].isdigit()]
         assert len(lines) == 3
-        # Column 2 is the PENDING depth; the shards sum to the queue.
-        assert sum(int(ln.split()[1]) for ln in lines) == 7
+        # Column 3 is the PENDING depth (after blocked); the shards
+        # sum to the queue.
+        assert sum(int(ln.split()[2]) for ln in lines) == 7
+        # Column 2 is the new BLOCKED depth -- zero for a flat sweep.
+        assert sum(int(ln.split()[1]) for ln in lines) == 0
 
     def test_remote_shard_table_via_healthz(self, tmp_path, capsys):
         with ServiceHTTPServer(tmp_path / "svc", workers=0,
