@@ -301,7 +301,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client = _remote_client(args)
     if client is not None:
         receipt = client.submit_sweep(
-            sweep, timeout=args.timeout, max_retries=args.retries
+            sweep, timeout=args.timeout, max_retries=args.retries,
+            batch=getattr(args, "batch", False),
         )
     else:
         from .service import Service
@@ -610,12 +611,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ConfigError(
             "pass either --shards N or --workdir repeated, not both"
         )
+    if args.max_queue_depth < 0:
+        raise ConfigError(
+            f"--max-queue-depth must be >= 0, got {args.max_queue_depth}"
+        )
+    if args.rate_limit < 0:
+        raise ConfigError(
+            f"--rate-limit must be >= 0, got {args.rate_limit}"
+        )
     server = ServiceHTTPServer(
         workdirs[0], host=args.host, port=args.port,
         workers=args.workers, backoff_base=args.backoff, quiet=args.quiet,
         shards=args.shards,
         shard_workdirs=workdirs if len(workdirs) > 1 else None,
         inline_max=args.inline_max,
+        max_queue_depth=args.max_queue_depth,
+        rate_limit=args.rate_limit, rate_burst=args.rate_burst,
     )
     nshards = server.service.nshards
     shard_note = f" across {nshards} shard(s)" if nshards > 1 else ""
@@ -752,6 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="sim", help="what each job executes")
     p_sub.add_argument("--sweep", action="store_true",
                        help="expand comma-separated values into a grid")
+    p_sub.add_argument("--batch", action="store_true",
+                       help="submit via POST /v1/jobs/batch: one "
+                            "round-trip and one store transaction per "
+                            "shard (remote --url mode; implied locally)")
     p_sub.add_argument("-N", default="4096", help="problem size(s); for "
                        "--kind scale this is the single-node N")
     p_sub.add_argument("-NB", default="256", help="blocking factor(s)")
@@ -822,6 +837,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="results larger than this many encoded "
                               "bytes are served as chunk streams instead "
                               "of inline JSON")
+    p_serve.add_argument("--max-queue-depth", type=int, default=0,
+                         help="refuse submissions (429 overloaded) while "
+                              "this many jobs are outstanding "
+                              "(0 = no watermark)")
+    p_serve.add_argument("--rate-limit", type=float, default=0.0,
+                         help="per-client submit requests per second, "
+                              "keyed on X-Client-Id (0 = unlimited)")
+    p_serve.add_argument("--rate-burst", type=float, default=None,
+                         help="token-bucket burst size "
+                              "(default: one second of --rate-limit)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_stat = sub.add_parser("status", help="job counts and per-job states")

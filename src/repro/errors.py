@@ -168,6 +168,41 @@ class UnknownCampaignError(ServiceError):
     http_status = 404
 
 
+class BackpressureError(ServiceError):
+    """Base for 429 admission rejections: the request itself is fine.
+
+    Carries ``retry_after`` (seconds), which the server surfaces as the
+    HTTP ``Retry-After`` header and the clients honor when retrying
+    transparently.  Submissions are dedup-safe, so retrying a rejected
+    submit can never enqueue twice.
+    """
+
+    code = "backpressure"
+    http_status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class OverloadedError(BackpressureError):
+    """The queue depth crossed the coordinator's admission watermark.
+
+    New work is refused until workers drain the backlog below the
+    watermark; status/result/cancel traffic is never refused.
+    """
+
+    code = "overloaded"
+    http_status = 429
+
+
+class RateLimitedError(BackpressureError):
+    """One client (by ``X-Client-Id``) exceeded its token-bucket rate."""
+
+    code = "rate_limited"
+    http_status = 429
+
+
 class LeaseConflictError(ServiceError):
     """A lease operation named a job held by a different live lease."""
 

@@ -23,6 +23,7 @@ pick-winner -> dependent study) into such a DAG in one request.
 
 from __future__ import annotations
 
+from .admission import AdmissionController, TokenBucket
 from .api import Service, SubmitReceipt
 from .cache import ResultCache, payload_key
 from .campaign import CampaignStage, CampaignStore, parse_campaign_spec
@@ -58,6 +59,7 @@ from .views import (
 from .workers import PoolSummary, WorkerOptions, WorkerPool, register_runner
 
 __all__ = [
+    "AdmissionController",
     "CampaignStage",
     "CampaignStore",
     "CampaignView",
@@ -84,6 +86,7 @@ __all__ = [
     "StageView",
     "SubmitReceipt",
     "Sweep",
+    "TokenBucket",
     "WorkerOptions",
     "WorkerPool",
     "decode_result",

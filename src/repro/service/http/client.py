@@ -18,7 +18,12 @@ stable machine-readable ``code`` in every error body
 matching :class:`~repro.errors.ReproError` subclass -- ``bad_config`` ->
 :class:`ConfigError`, ``unknown_job`` -> :class:`UnknownJobError`,
 ``lease_expired`` -> :class:`LeaseExpiredError`, and so on -- falling
-back to the HTTP status class when a body carries no code.
+back to the HTTP status class when a body carries no code.  Admission
+rejections (429 ``overloaded`` / ``rate_limited``) are retried
+transparently up to ``retry_429`` times, sleeping the server's
+``Retry-After`` hint between attempts; every request carries an
+``X-Client-Id`` header (one identity per client instance unless
+``client_id`` is given) so per-client rate limits have a key.
 
 :class:`AsyncServiceClient` layers asyncio on top for the batch shape
 the paper's experiments have (submit a grid, gather the points): every
@@ -45,6 +50,7 @@ import urllib.request
 from typing import BinaryIO
 
 from ...errors import (
+    BackpressureError,
     ChunkIntegrityError,
     ChunkOffsetError,
     ConfigError,
@@ -52,6 +58,8 @@ from ...errors import (
     LeaseConflictError,
     LeaseExpiredError,
     MalformedRequestError,
+    OverloadedError,
+    RateLimitedError,
     ServiceError,
     ShardUnavailableError,
     UnknownCampaignError,
@@ -80,7 +88,8 @@ ERRORS_BY_CODE = {
         UnknownRouteError, UnknownJobKindError, LeaseConflictError,
         LeaseExpiredError, ChunkOffsetError, ChunkIntegrityError,
         ShardUnavailableError, CycleError, UnknownParentError,
-        UnknownCampaignError, ServiceError,
+        UnknownCampaignError, BackpressureError, OverloadedError,
+        RateLimitedError, ServiceError,
     )
 }
 
@@ -90,6 +99,7 @@ _ERROR_BY_STATUS = {
     404: UnknownJobError,
     409: LeaseConflictError,
     422: ServiceError,
+    429: BackpressureError,
 }
 
 #: States from which a job will never produce further transitions.
@@ -161,17 +171,28 @@ class ServiceClient:
 
     def __init__(self, url: str, timeout: float = 30.0,
                  inline_max: int = DEFAULT_INLINE_MAX,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 client_id: str | None = None,
+                 retry_429: int = 8,
+                 retry_429_cap: float = 5.0) -> None:
         if "://" not in url:
             url = f"http://{url}"
         self.base_url = url.rstrip("/")
         self.timeout = timeout
         self.inline_max = inline_max
         self.chunk_size = chunk_size
+        # Every request carries X-Client-Id so the server's per-client
+        # rate limiting has an identity to key on; one id per client
+        # instance by default.
+        self.client_id = client_id or \
+            f"client-{random.getrandbits(48):012x}"
+        self.retry_429 = int(retry_429)
+        self.retry_429_cap = float(retry_429_cap)
 
     # -- transport -------------------------------------------------------
 
-    def _raise_for(self, status: int, body: dict, path: str) -> None:
+    def _raise_for(self, status: int, body: dict, path: str,
+                   headers=None) -> None:
         error = body.get("error")
         if isinstance(error, dict):
             cls = ERRORS_BY_CODE.get(
@@ -183,53 +204,27 @@ class ServiceClient:
             cls = _ERROR_BY_STATUS.get(status, ServiceError)
             message = error if isinstance(error, str) and error \
                 else f"HTTP {status} from {self.base_url}{path}"
-        raise cls(message) from None
+        exc = cls(message)
+        # Surface the server's Retry-After hint (header first, error
+        # body as fallback) on the exception for the retry loop.
+        retry_after = None
+        if headers is not None:
+            raw = headers.get("Retry-After")
+            if raw:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    pass
+        if retry_after is None and isinstance(error, dict):
+            raw = error.get("retry_after")
+            if isinstance(raw, (int, float)):
+                retry_after = float(raw)
+        if retry_after is not None:
+            exc.retry_after = retry_after
+        raise exc from None
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
-        data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read() or b"{}")
-        except urllib.error.HTTPError as exc:
-            try:
-                payload = json.loads(exc.read() or b"{}")
-            except (json.JSONDecodeError, OSError):
-                payload = {}
-            self._raise_for(exc.code, payload if isinstance(payload, dict)
-                            else {}, path)
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from None
-
-    def _request_raw(self, method: str, path: str, data: bytes) -> dict:
-        """Send a raw octet-stream body; parse the JSON response."""
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/octet-stream"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read() or b"{}")
-        except urllib.error.HTTPError as exc:
-            try:
-                payload = json.loads(exc.read() or b"{}")
-            except (json.JSONDecodeError, OSError):
-                payload = {}
-            self._raise_for(exc.code, payload if isinstance(payload, dict)
-                            else {}, path)
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from None
-
-    def _request_bytes(self, path: str) -> bytes:
-        """GET a raw octet-stream response body."""
-        request = urllib.request.Request(self.base_url + path, method="GET")
+    def _open(self, request, path: str) -> bytes:
+        """One urlopen round-trip with the v1 error mapping applied."""
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 return resp.read()
@@ -239,11 +234,58 @@ class ServiceClient:
             except (json.JSONDecodeError, OSError):
                 payload = {}
             self._raise_for(exc.code, payload if isinstance(payload, dict)
-                            else {}, path)
+                            else {}, path, headers=exc.headers)
         except urllib.error.URLError as exc:
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: {exc.reason}"
             ) from None
+
+    def _send(self, request, path: str) -> bytes:
+        """``_open`` with transparent 429 retry honoring Retry-After.
+
+        Admission rejections (``overloaded``, ``rate_limited``) mean
+        "the request is fine, just not now"; submissions are dedup-safe,
+        so replaying one can never enqueue twice.  Up to ``retry_429``
+        retries, each sleeping the server's hint capped at
+        ``retry_429_cap`` seconds; ``retry_429=0`` surfaces every 429
+        to the caller (what the load generator uses to *measure* them).
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._open(request, path)
+            except BackpressureError as exc:
+                if attempt >= self.retry_429:
+                    raise
+                attempt += 1
+                hint = getattr(exc, "retry_after", 1.0)
+                time.sleep(min(max(hint, 0.05), self.retry_429_cap))
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json",
+                     "X-Client-Id": self.client_id},
+        )
+        return json.loads(self._send(request, path) or b"{}")
+
+    def _request_raw(self, method: str, path: str, data: bytes) -> dict:
+        """Send a raw octet-stream body; parse the JSON response."""
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/octet-stream",
+                     "X-Client-Id": self.client_id},
+        )
+        return json.loads(self._send(request, path) or b"{}")
+
+    def _request_bytes(self, path: str) -> bytes:
+        """GET a raw octet-stream response body."""
+        request = urllib.request.Request(
+            self.base_url + path, method="GET",
+            headers={"X-Client-Id": self.client_id},
+        )
+        return self._send(request, path)
 
     # -- facade mirror ---------------------------------------------------
 
@@ -280,16 +322,43 @@ class ServiceClient:
         })["receipt"])
 
     def submit_sweep(self, sweep, timeout: float = 0.0,
-                     max_retries: int = 2, depends_on=()) -> SubmitReceipt:
+                     max_retries: int = 2, depends_on=(),
+                     batch: bool = False) -> SubmitReceipt:
         """Submit a :class:`~repro.service.Sweep` (or spec dict).
 
-        ``depends_on`` applies to every job of the sweep.
+        ``depends_on`` applies to every job of the sweep.  With
+        ``batch=True`` the sweep goes to ``POST /v1/jobs/batch``
+        instead: still one round-trip and an identical merged receipt,
+        but the server inserts the points with one transaction per
+        shard rather than one per point -- use it for large grids.
         """
-        return SubmitReceipt.from_dict(self._request("POST", "/v1/jobs", {
+        body = {
             "sweep": _sweep_spec(sweep),
             "timeout": timeout, "max_retries": max_retries,
             "depends_on": list(depends_on),
-        })["receipt"])
+        }
+        path = "/v1/jobs/batch" if batch else "/v1/jobs"
+        return SubmitReceipt.from_dict(
+            self._request("POST", path, body)["receipt"])
+
+    def submit_many(self, submissions, timeout: float = 0.0,
+                    max_retries: int = 2) -> list[SubmitReceipt]:
+        """Submit N jobs in ONE round-trip via ``POST /v1/jobs/batch``.
+
+        ``submissions`` is a sequence of dicts with ``kind`` and
+        ``payload`` plus optional per-item ``timeout`` / ``max_retries``
+        / ``depends_on``; the call-level arguments are the defaults.
+        Returns one :class:`SubmitReceipt` per submission in request
+        order, with dedup/cache dispositions byte-identical to N single
+        :meth:`submit` calls (see
+        :meth:`repro.service.api.Service.submit_many`).
+        """
+        body = {
+            "jobs": list(submissions),
+            "timeout": timeout, "max_retries": max_retries,
+        }
+        resp = self._request("POST", "/v1/jobs/batch", body)
+        return [SubmitReceipt.from_dict(r) for r in resp["receipts"]]
 
     # -- campaigns -------------------------------------------------------
 
@@ -501,7 +570,13 @@ class ServiceClient:
                 break
             if deadline is not None and time.monotonic() >= deadline:
                 raise WaitTimeout(outstanding, timeout)
-            time.sleep(backoff.next_delay(progressed))
+            delay = backoff.next_delay(progressed)
+            if deadline is not None:
+                # Never sleep past the caller's deadline: an unclamped
+                # jittered backoff step could overshoot it by up to a
+                # full poll_max, turning a 0.5 s timeout into seconds.
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
         return views
 
 
@@ -520,10 +595,16 @@ class AsyncServiceClient:
                  poll_factor: float = 2.0, jitter: float = 0.25,
                  rng: random.Random | None = None,
                  inline_max: int = DEFAULT_INLINE_MAX,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 client_id: str | None = None,
+                 retry_429: int = 8,
+                 retry_429_cap: float = 5.0) -> None:
         self._client = ServiceClient(url, timeout=timeout,
                                      inline_max=inline_max,
-                                     chunk_size=chunk_size)
+                                     chunk_size=chunk_size,
+                                     client_id=client_id,
+                                     retry_429=retry_429,
+                                     retry_429_cap=retry_429_cap)
         self.poll_initial = poll_initial
         self.poll_max = poll_max
         self.poll_factor = poll_factor
@@ -558,11 +639,16 @@ class AsyncServiceClient:
                                 depends_on=depends_on)
 
     async def submit_sweep(self, sweep, timeout: float = 0.0,
-                           max_retries: int = 2,
-                           depends_on=()) -> SubmitReceipt:
+                           max_retries: int = 2, depends_on=(),
+                           batch: bool = False) -> SubmitReceipt:
         return await self._call(self._client.submit_sweep, sweep,
                                 timeout=timeout, max_retries=max_retries,
-                                depends_on=depends_on)
+                                depends_on=depends_on, batch=batch)
+
+    async def submit_many(self, submissions, timeout: float = 0.0,
+                          max_retries: int = 2) -> list[SubmitReceipt]:
+        return await self._call(self._client.submit_many, submissions,
+                                timeout=timeout, max_retries=max_retries)
 
     async def submit_campaign(self, spec: dict, timeout: float = 0.0,
                               max_retries: int = 2) -> CampaignView:
@@ -637,5 +723,11 @@ class AsyncServiceClient:
                 break
             if deadline is not None and loop.time() >= deadline:
                 raise WaitTimeout(outstanding, timeout)
-            await asyncio.sleep(backoff.next_delay(progressed))
+            delay = backoff.next_delay(progressed)
+            if deadline is not None:
+                # Clamp to the remaining budget -- an unclamped jittered
+                # step overshoots the caller's deadline by up to a full
+                # backoff step (the PR-7 regression).
+                delay = min(delay, max(0.0, deadline - loop.time()))
+            await asyncio.sleep(delay)
         return views

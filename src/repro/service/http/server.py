@@ -16,6 +16,8 @@ v1 endpoints (request/response bodies are JSON unless marked *bytes*):
 method   path                                action
 =======  ==================================  ===============================
 POST     ``/v1/jobs``                        submit -> ``{"receipt": ...}``
+POST     ``/v1/jobs/batch``                  N submissions, one round-trip
+                                             -> ``{"receipts": [...]}``
 GET      ``/v1/jobs``                        queue page (filter + paginate)
 GET      ``/v1/jobs/{id}``                   one job -> ``{"job": ...}``
 GET      ``/v1/jobs/{id}/result``            ``{"job":..., "ready", "result"}``
@@ -49,17 +51,26 @@ stable machine-readable identifier the raised
 ``malformed`` 400, ``unknown_job`` / ``unknown_route`` /
 ``unknown_parent`` / ``unknown_campaign`` 404, ``unknown_kind`` /
 ``cycle_detected`` 422, ``bad_offset`` / ``bad_chunk`` 422,
-``conflict`` / ``lease_expired`` 409, ``shard_unavailable`` 503); the
-HTTP status comes from the same class.  Clients re-raise the matching
-typed exception by ``code``.  Chunk uploads and ranged reads move raw
-``application/octet-stream`` bodies, bounded by
-:data:`~repro.service.streams.MAX_CHUNK_BYTES` per request, so the
-coordinator never buffers more than one chunk of a result.
+``conflict`` / ``lease_expired`` 409, ``overloaded`` /
+``rate_limited`` 429 with a ``Retry-After`` header,
+``shard_unavailable`` 503); the HTTP status comes from the same class.
+Clients re-raise the matching typed exception by ``code``.  Chunk
+uploads and ranged reads move raw ``application/octet-stream`` bodies,
+bounded by :data:`~repro.service.streams.MAX_CHUNK_BYTES` per request,
+so the coordinator never buffers more than one chunk of a result.
+
+Admission control (off by default) guards the three submit routes --
+``POST /v1/jobs``, ``/v1/jobs/batch``, ``/v1/campaigns`` -- with a
+queue-depth watermark and per-client token buckets keyed on the
+``X-Client-Id`` header; see :mod:`repro.service.admission`.  Reads,
+cancels, and the lease protocol are never gated, so workers can always
+drain and clients can always observe a saturated queue.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 import urllib.parse
@@ -72,7 +83,8 @@ from ...errors import (
     ServiceError,
     UnknownRouteError,
 )
-from ..api import Service
+from ..admission import AdmissionController
+from ..api import Service, SubmitReceipt
 from ..streams import DEFAULT_INLINE_MAX, MAX_CHUNK_BYTES
 from ..sweep import Sweep
 from ..views import JobView
@@ -153,6 +165,77 @@ def _parse_submission(body: dict) -> tuple[str, list[dict], Sweep | None,
     )
 
 
+#: Safety cap on one batch request, far above the 10k-point sweep the
+#: endpoint exists for but low enough that a single request cannot hold
+#: the coordinator's memory hostage.
+MAX_BATCH_JOBS = 100_000
+
+
+def _parse_batch(body: dict) -> list[dict]:
+    """Normalize a ``/v1/jobs/batch`` body into per-job submissions.
+
+    Accepts either ``{"jobs": [{kind, payload, ...}, ...]}`` with
+    optional top-level ``timeout`` / ``max_retries`` / ``depends_on``
+    defaults, or ``{"sweep": {...}}`` which is expanded server-side into
+    one submission per grid point -- a 10k-point sweep is one request.
+    Returns plain dicts in request order, ready for
+    :meth:`Service.submit_many`.
+    """
+    if not isinstance(body, dict):
+        raise MalformedRequestError("batch body must be a JSON object")
+    try:
+        timeout = float(body.get("timeout", 0.0))
+        max_retries = int(body.get("max_retries", 2))
+    except (TypeError, ValueError) as exc:
+        raise MalformedRequestError(
+            f"bad timeout/max_retries: {exc}"
+        ) from None
+    depends_on = _parse_depends_on(body)
+    if "sweep" in body:
+        spec = body["sweep"]
+        if not isinstance(spec, dict) or "kind" not in spec:
+            raise MalformedRequestError(
+                "'sweep' must be an object with a 'kind'"
+            )
+        sweep = Sweep(kind=spec["kind"], axes=spec.get("axes", {}),
+                      base=spec.get("base", {}))
+        jobs = [{"kind": sweep.kind, "payload": p} for p in sweep.expand()]
+    else:
+        jobs = body.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            raise MalformedRequestError(
+                "batch must carry a non-empty 'jobs' list or a 'sweep'"
+            )
+    if len(jobs) > MAX_BATCH_JOBS:
+        raise MalformedRequestError(
+            f"batch of {len(jobs)} jobs exceeds the cap of"
+            f" {MAX_BATCH_JOBS}"
+        )
+    out: list[dict] = []
+    for i, item in enumerate(jobs):
+        if not isinstance(item, dict):
+            raise MalformedRequestError(
+                f"jobs[{i}] must be an object, got {type(item).__name__}"
+            )
+        kind = item.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise MalformedRequestError(
+                f"jobs[{i}]: 'kind' must be a non-empty string"
+            )
+        payload = item.get("payload", {})
+        _validate_payloads(kind, [payload])
+        sub = {
+            "kind": kind,
+            "payload": payload,
+            "timeout": item.get("timeout", timeout),
+            "max_retries": item.get("max_retries", max_retries),
+            "depends_on": (_parse_depends_on(item)
+                           if "depends_on" in item else depends_on),
+        }
+        out.append(sub)
+    return out
+
+
 def _int_param(params: dict, name: str, default=None):
     raw = params.get(name, [None])[-1]
     if raw is None or raw == "":
@@ -196,11 +279,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_error_json(self, status: int, code: str,
-                         message: str) -> None:
-        self._send_json(status, {
+    def _send_error_json(self, status: int, code: str, message: str,
+                         retry_after: float | None = None) -> None:
+        obj = {
             "error": {"code": code, "message": message.splitlines()[-1]},
-        })
+        }
+        if retry_after is not None:
+            # HTTP Retry-After is integer seconds; round up so clients
+            # never retry before the hinted window has actually passed.
+            obj["error"]["retry_after"] = max(1, math.ceil(retry_after))
+        data = json.dumps(obj, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if retry_after is not None:
+            self.send_header("Retry-After",
+                             str(obj["error"]["retry_after"]))
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -224,7 +320,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             status, obj = fn()
         except ReproError as exc:
-            self._send_error_json(exc.http_status, exc.code, str(exc))
+            self._send_error_json(exc.http_status, exc.code, str(exc),
+                                  retry_after=getattr(exc, "retry_after",
+                                                      None))
         except Exception as exc:  # pragma: no cover - defensive
             self._send_error_json(500, "internal",
                                   f"{type(exc).__name__}: {exc}")
@@ -241,6 +339,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         self._dispatch(self._route_post)
+
+    def _admit_submit(self) -> None:
+        """Run the admission gate for one submit-path request.
+
+        The client identity is the ``X-Client-Id`` header when present
+        (what well-behaved clients send; both bundled clients do), else
+        the peer address -- so an anonymous storm from one host is still
+        one bucket.  Called *after* the body is read: an early 429 would
+        leave the unread body poisoning the keep-alive connection.
+        """
+        admission: AdmissionController | None = getattr(
+            self.server, "admission", None)
+        if admission is None:
+            return
+        client_id = self.headers.get("X-Client-Id") or \
+            f"ip:{self.client_address[0]}"
+        admission.check_submit(client_id, self.service.store.outstanding)
+
+    def _note_enqueued(self, receipts) -> None:
+        admission: AdmissionController | None = getattr(
+            self.server, "admission", None)
+        if admission is not None:
+            admission.note_enqueued(
+                sum(len(r.new) for r in receipts))
 
     def _queue_page(self, query: str) -> dict:
         params = urllib.parse.parse_qs(query)
@@ -259,6 +381,7 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/v1/healthz":
             shards = self.service.shard_stats()
             degraded = [s["workdir"] for s in shards if not s["ok"]]
+            admission = getattr(self.server, "admission", None)
             return 200, {
                 "ok": not degraded,
                 "workdir": self.service.workdir,
@@ -268,7 +391,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "degraded": degraded,
                 # Per-state queue depths (BLOCKED included), merged
                 # across shards -- the one-call liveness + load probe.
+                # Each shard's figure is an exact snapshot of that
+                # shard; the merge is a smear across the read window
+                # (see ShardedStore.counts), never negative and never
+                # double-counting.
                 "queue": self.service.store.counts(),
+                "admission": (admission.stats()
+                              if admission is not None else None),
             }
         if path in ("/v1/queue", "/v1/jobs"):
             return 200, self._queue_page(query)
@@ -368,8 +497,22 @@ class _Handler(BaseHTTPRequestHandler):
                 m.group(1), lease_id, size, sha256
             )
             return 200, {"job": JobView.from_job(job).to_dict()}
+        if path == "/v1/jobs/batch":
+            body = self._read_body()
+            self._admit_submit()
+            submissions = _parse_batch(body)
+            receipts = self.service.submit_many(submissions)
+            self._note_enqueued(receipts)
+            merged = SubmitReceipt()
+            for r in receipts:
+                merged.merge(r)
+            return 200, {
+                "receipts": [r.to_dict() for r in receipts],
+                "receipt": merged.to_dict(),
+            }
         if path == "/v1/jobs":
             body = self._read_body()
+            self._admit_submit()
             kind, payloads, sweep, timeout, max_retries, depends_on = \
                 _parse_submission(body)
             _validate_payloads(kind, payloads)
@@ -383,9 +526,11 @@ class _Handler(BaseHTTPRequestHandler):
                     kind, payloads[0], timeout=timeout,
                     max_retries=max_retries, depends_on=depends_on,
                 )
+            self._note_enqueued([receipt])
             return 200, {"receipt": receipt.to_dict()}
         if path == "/v1/campaigns":
             body = self._read_body()
+            self._admit_submit()
             try:
                 timeout = float(body.pop("timeout", 0.0))
                 max_retries = int(body.pop("max_retries", 2))
@@ -464,6 +609,7 @@ class _Server(ThreadingHTTPServer):
     service: Service
     quiet: bool = True
     workers: int = 0
+    admission: AdmissionController | None = None
 
 
 class ServiceHTTPServer:
@@ -484,7 +630,9 @@ class ServiceHTTPServer:
                  poll_interval: float = 0.02, quiet: bool = True,
                  shards: int = 1, shard_workdirs=None,
                  busy_timeout: float = 30.0,
-                 inline_max: int = DEFAULT_INLINE_MAX) -> None:
+                 inline_max: int = DEFAULT_INLINE_MAX,
+                 max_queue_depth: int = 0, rate_limit: float = 0.0,
+                 rate_burst: float | None = None) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
         self.service = Service(workdir, backoff_base=backoff_base,
@@ -494,10 +642,20 @@ class ServiceHTTPServer:
                                inline_max=inline_max)
         self.workers = workers
         self.poll_interval = poll_interval
+        # Both gates default off (0); see repro.service.admission.  The
+        # controller is exposed as ``.admission`` so tests can shrink
+        # depth_ttl or read rejection tallies directly.
+        self.admission = (
+            AdmissionController(max_queue_depth=max_queue_depth,
+                                rate_limit=rate_limit,
+                                rate_burst=rate_burst)
+            if max_queue_depth > 0 or rate_limit > 0 else None
+        )
         self._httpd = _Server((host, port), _Handler)
         self._httpd.service = self.service
         self._httpd.quiet = quiet
         self._httpd.workers = workers
+        self._httpd.admission = self.admission
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: threading.Thread | None = None
         self._pool_threads: list[threading.Thread] = []

@@ -190,6 +190,50 @@ class ShardedStore:
         except sqlite3.OperationalError as exc:
             raise self._wrap_unavailable(shard, exc) from None
 
+    def add_batch(
+        self, items: list[tuple[Job, bool]]
+    ) -> list[tuple[Job | None, Job | None]]:
+        """Batch insert: group by shard, ONE transaction per shard.
+
+        Items are grouped by each job's key shard *preserving submit
+        order within every shard*, each group commits in its shard's own
+        :meth:`JobStore.add_batch` transaction, and the per-item results
+        are reassembled in request order.  Because same-key jobs always
+        land in the same shard (and in their original relative order),
+        in-batch dedup behaves exactly as N sequential single submits.
+
+        Atomicity is *per shard* -- there is no cross-shard commit, by
+        the same rule as ``claim_batch``.  If a shard is wedged its
+        slice fails while the other shards' slices commit; the raised
+        :class:`~repro.errors.ShardUnavailableError` then names the
+        wedged shard.  A retry of the whole batch is safe: the committed
+        slices dedup to their existing active jobs, and only the missing
+        slice inserts (``tests/test_batch_chaos.py`` proves this under
+        SIGKILL mid-batch).
+        """
+        by_shard: dict[int, list[int]] = {}
+        for pos, (job, _dedup) in enumerate(items):
+            by_shard.setdefault(shard_index(job.key, self.nshards),
+                                []).append(pos)
+        results: list[tuple[Job | None, Job | None] | None]
+        results = [None] * len(items)
+        wedged: ShardUnavailableError | None = None
+        for idx in sorted(by_shard):
+            shard = self.shards[idx]
+            positions = by_shard[idx]
+            try:
+                slice_results = shard.add_batch(
+                    [items[pos] for pos in positions]
+                )
+            except sqlite3.OperationalError as exc:
+                wedged = self._wrap_unavailable(shard, exc)
+                continue  # other shards' slices still commit
+            for pos, res in zip(positions, slice_results):
+                results[pos] = res
+        if wedged is not None:
+            raise wedged from None
+        return results  # type: ignore[return-value]
+
     def claim(self, worker: str, now=None) -> Job | None:
         """Claim one ready job, round-robining the starting shard."""
         start = self._next_claim_shard
@@ -432,6 +476,24 @@ class ShardedStore:
         return total
 
     def counts(self) -> dict[str, int]:
+        """Merged per-state depths: per-shard consistent, not global.
+
+        Each shard's figure comes from one ``GROUP BY state`` query, so
+        it is an exact snapshot *of that shard* -- a job mid-transition
+        is counted in exactly one state, never zero or two.  The shards
+        are read sequentially with no cross-shard lock, so the merged
+        total is a *smear* across the read window: a submission landing
+        on an already-read shard is missed, one landing on a yet-unread
+        shard is seen.  The guarantees callers (``/v1/healthz``,
+        ``repro shards``) may rely on: every figure is ``>= 0``, no job
+        is ever double-counted, and because jobs never migrate between
+        shards the merged total over any monotone workload (submits
+        only, or drains only) is itself monotone.  What they may NOT
+        assume: the merged figure equals the true depth at any single
+        instant while writes are in flight.
+        ``tests/test_admission.py`` pins this down under a concurrent
+        submit storm.
+        """
         out = {s.value: 0 for s in JobState}
         for shard in self.shards:
             try:

@@ -1,0 +1,132 @@
+"""Hypothesis property: ``submit_many`` == N single ``submit`` calls.
+
+The batch endpoint exists to save round-trips, not to change meaning.
+For ANY sequence of submissions (duplicate payloads included, over 1-
+and 3-shard stores) a single ``submit_many`` call must be
+observationally equivalent to submitting the same items one at a time:
+
+* the per-position **disposition** sequence matches (``new`` vs
+  ``deduped``; ``probe`` is an uncached kind so it is always ``new``),
+* a deduped position points at the **same earlier position** -- the
+  first in-flight occurrence of that payload -- in both worlds,
+* every position lands the identical **content key** (dedup and the
+  result cache key off it, so this is the byte-identical-sweep claim),
+* the **final queues** agree: same multiset of ``(kind, key, state)``
+  rows, same counts, same outstanding figure.
+
+Job *ids* are random by design, so the comparison is over dispositions,
+positions, and keys -- never raw ids.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import Service
+
+# A small payload pool makes in-batch duplicates common; "fact" dedups
+# on content, "probe" is in UNCACHED_KINDS and always enqueues.
+_submissions = st.lists(
+    st.tuples(
+        st.sampled_from(["fact", "probe"]),
+        st.integers(min_value=0, max_value=4),
+    ),
+    max_size=20,
+).map(lambda items: [
+    {"kind": kind, "payload": {"n": n}} for kind, n in items
+])
+
+_nshards = st.sampled_from([1, 3])
+
+
+def _dispositions(receipts):
+    """Per-position ``(disposition, target_position)`` trace.
+
+    ``target_position`` is the position whose submission created the job
+    this receipt refers to: itself for ``new``, the first in-flight
+    duplicate for ``deduped``.  Receipts are compared through positions
+    because ids are random per store.
+    """
+    first_seen: dict[str, int] = {}
+    trace = []
+    for pos, receipt in enumerate(receipts):
+        if receipt.new:
+            (jid,) = receipt.new
+            first_seen[jid] = pos
+            trace.append(("new", pos))
+        elif receipt.deduped:
+            (jid,) = receipt.deduped
+            trace.append(("deduped", first_seen[jid]))
+        else:  # pragma: no cover - needs a warmed result cache
+            (jid,) = receipt.cached
+            first_seen[jid] = pos
+            trace.append(("cached", pos))
+    return trace
+
+
+def _keys_by_position(svc, receipts):
+    return [svc.store.get(r.job_ids[0]).key for r in receipts]
+
+
+def _queue_rows(svc):
+    rows = [(job.kind, job.key, job.state.value)
+            for job in svc.store.list()]
+    return sorted(rows)
+
+
+class TestBatchEquivalence:
+    @given(submissions=_submissions, nshards=_nshards)
+    @settings(max_examples=60, deadline=None)
+    def test_submit_many_equals_n_submits(self, submissions, nshards):
+        with tempfile.TemporaryDirectory() as td:
+            singly = Service(f"{td}/singly", shards=nshards)
+            batched = Service(f"{td}/batched", shards=nshards)
+            try:
+                want = [singly.submit(s["kind"], s["payload"])
+                        for s in submissions]
+                got = batched.submit_many(submissions)
+
+                assert len(got) == len(submissions)
+                # Every receipt names exactly one job.
+                assert all(len(r.job_ids) == 1 for r in want + got)
+                assert _dispositions(got) == _dispositions(want)
+                assert _keys_by_position(batched, got) == \
+                    _keys_by_position(singly, want)
+
+                # The stores ended up indistinguishable.
+                assert _queue_rows(batched) == _queue_rows(singly)
+                assert batched.store.counts() == singly.store.counts()
+                assert batched.store.outstanding() == \
+                    singly.store.outstanding()
+            finally:
+                singly.store.close()
+                batched.store.close()
+
+    @given(submissions=_submissions, nshards=_nshards)
+    @settings(max_examples=30, deadline=None)
+    def test_resubmitting_the_batch_dedups_everything(
+            self, submissions, nshards):
+        """Replaying an identical batch creates nothing new: every
+        position resolves to an already-active job (the retry-safety
+        claim the chaos suite leans on)."""
+        with tempfile.TemporaryDirectory() as td:
+            svc = Service(f"{td}/svc", shards=nshards)
+            try:
+                first = svc.submit_many(submissions)
+                before = _queue_rows(svc)
+                replay = svc.submit_many(submissions)
+                # probe is uncached => genuinely new each time; every
+                # dedup-capable kind resolves to the existing job.
+                for sub, r1, r2 in zip(submissions, first, replay):
+                    if sub["kind"] == "probe":
+                        assert r2.new and r2.new != r1.new
+                    else:
+                        assert not r2.new
+                        assert r2.deduped
+                probes = sum(s["kind"] == "probe" for s in submissions)
+                assert len(_queue_rows(svc)) == len(before) + probes
+            finally:
+                svc.store.close()
