@@ -6,7 +6,7 @@ submits per second one coordinator absorbs -- and keep the answer in a
 committed trajectory (``BENCH_service_throughput.json`` at the repo
 root) so every future PR's regression is a diff, not an anecdote.
 
-Three scenarios, each against a **real** ``repro serve`` subprocess
+Four scenarios, each against a **real** ``repro serve`` subprocess
 (so the RSS figures are the coordinator's own, not the harness's):
 
 * ``1shard``  -- storm over a single-workdir coordinator, 2 workers.
@@ -16,6 +16,10 @@ Three scenarios, each against a **real** ``repro serve`` subprocess
   (``--max-queue-depth``): the point is the 429 ``overloaded`` path
   *under* load -- rejections are cheap, nothing 500s, and the queue
   still drains afterwards.
+* ``watch`` -- the same 200-job drain observed by 50 polling clients
+  and then by 50 watching clients (``GET /v1/events``): watching must
+  cut status-class requests by >= 10x and miss zero terminal
+  transitions.
 
 Every scenario records submits/s, per-endpoint p50/p95/p99 latency,
 the status-code histogram, queue drain rate, and coordinator RSS
@@ -40,6 +44,9 @@ import subprocess
 import sys
 import time
 
+import threading
+
+from repro.service.http import ServiceClient
 from repro.service.loadgen import bad_5xx, measure_drain, run_storm
 
 try:
@@ -101,6 +108,115 @@ def run_scenario(workdir, *, shards: int, duration: float,
         _stop(proc)
 
 
+class _CountingClient(ServiceClient):
+    """A :class:`ServiceClient` that tallies requests by class.
+
+    ``status`` counts the polling-style reads (GET queue/job/result),
+    ``events`` the event-feed requests; everything else is ``other``.
+    The watch-vs-poll scenario's claim is exactly this split.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.counts = {"status": 0, "events": 0, "other": 0}
+        self._lock = threading.Lock()
+
+    def _send(self, request, path, timeout=None):
+        if path.startswith("/v1/events"):
+            kind = "events"
+        elif (request.get_method() == "GET"
+              and path.startswith(("/v1/queue", "/v1/jobs"))):
+            kind = "status"
+        else:
+            kind = "other"
+        with self._lock:
+            self.counts[kind] += 1
+        return super()._send(request, path, timeout=timeout)
+
+
+def _watch_drain(url: str, *, jobs: int, watchers: int,
+                 job_seconds: float, mode: str) -> dict:
+    """Submit ``jobs`` probes and observe them finish ``mode``-style.
+
+    ``mode="poll"`` runs the historical poll-with-backoff wait loop;
+    ``mode="watch"`` consumes the event feed.  Each of ``watchers``
+    threads observes a disjoint slice of the jobs and must see every
+    job in its slice reach a terminal state; the report carries the
+    request tallies and how many terminal transitions were missed.
+    """
+    submitter = ServiceClient(url)
+    receipts = submitter.submit_many([
+        {"kind": "probe",
+         "payload": {"behavior": "sleep", "seconds": job_seconds,
+                     "tag": f"{mode}-{i}"}}
+        for i in range(jobs)
+    ])
+    ids = [r.new[0] for r in receipts]
+    slices = [ids[i::watchers] for i in range(watchers)]
+    clients = [_CountingClient(url, retry_429=0) for _ in range(watchers)]
+    missed = [0] * watchers
+    t0 = time.monotonic()
+
+    def observe(i: int) -> None:
+        client, mine = clients[i], slices[i]
+        try:
+            if mode == "poll":
+                client._wait_poll(mine, timeout=300.0)
+            else:
+                seen = {v.job_id for v in client.watch(
+                    job_ids=mine, timeout=300.0) if v.terminal}
+                missed[i] = len(set(mine) - seen)
+        except Exception:  # noqa: BLE001 -- a missed job IS the metric
+            missed[i] = len(mine)
+
+    threads = [threading.Thread(target=observe, args=(i,), daemon=True)
+               for i in range(watchers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600.0)
+    seconds = time.monotonic() - t0
+    totals = {"status": 0, "events": 0, "other": 0}
+    for client in clients:
+        for key, n in client.counts.items():
+            totals[key] += n
+    return {
+        "jobs": jobs,
+        "watchers": watchers,
+        "seconds": round(seconds, 3),
+        "status_requests": totals["status"],
+        "events_requests": totals["events"],
+        "other_requests": totals["other"],
+        "missed_terminal": sum(missed),
+    }
+
+
+def run_watch_scenario(workdir, *, jobs: int = 200, watchers: int = 50,
+                       job_seconds: float = 0.05,
+                       shards: int = 1) -> dict:
+    """Watch-vs-poll: the same drain observed both ways, tallied.
+
+    The claim under test: 50 clients watching a 200-job drain issue at
+    least 10x fewer status-class HTTP requests than the same clients
+    polling, while missing zero terminal transitions.
+    """
+    proc, url = _start_serve(workdir, shards=shards, workers=4)
+    try:
+        poll = _watch_drain(url, jobs=jobs, watchers=watchers,
+                            job_seconds=job_seconds, mode="poll")
+        watch = _watch_drain(url, jobs=jobs, watchers=watchers,
+                             job_seconds=job_seconds, mode="watch")
+    finally:
+        _stop(proc)
+    ratio = poll["status_requests"] / max(1, watch["status_requests"])
+    return {
+        "shards": shards,
+        "poll": poll,
+        "watch": watch,
+        "status_request_ratio": round(ratio, 1),
+    }
+
+
 def run_all(tmp_root, duration: float = 6.0) -> dict:
     """The full scenario set; ``tmp_root`` holds the scratch workdirs."""
     tmp_root = pathlib.Path(tmp_root)
@@ -114,6 +230,10 @@ def run_all(tmp_root, duration: float = 6.0) -> dict:
         "admission": run_scenario(
             tmp_root / "adm", shards=1, duration=duration,
             mix={"submit": 1}, max_queue_depth=200, seed=5),
+        # The events tentpole's claim: watching a drain costs an order
+        # of magnitude fewer status requests than polling it, and no
+        # terminal transition goes unobserved.
+        "watch": run_watch_scenario(tmp_root / "watch"),
     }
     return {
         "t": time.time(),
@@ -162,6 +282,14 @@ def check_entry(entry: dict) -> None:
         f" weak or gate broken: {adm['status_codes']}"
     # The backlog behind the watermark fully drained.
     assert adm["drain"]["seconds"] >= 0.0
+    wat = entry["scenarios"]["watch"]
+    assert wat["watch"]["missed_terminal"] == 0, \
+        f"watch: missed terminal transitions: {wat['watch']}"
+    assert wat["poll"]["missed_terminal"] == 0, \
+        f"watch: poll baseline lost jobs: {wat['poll']}"
+    assert wat["status_request_ratio"] >= 10.0, \
+        f"watch: only {wat['status_request_ratio']}x fewer status" \
+        f" requests than polling (need >= 10x)"
 
 
 def test_service_throughput_trajectory(tmp_path):
@@ -196,6 +324,13 @@ def main() -> int:
         write_artifact("service_throughput.json",
                        json.dumps(entry, indent=1, sort_keys=True))
     for name, rep in entry["scenarios"].items():
+        if "status_request_ratio" in rep:
+            print(f"{name:>10}: {rep['status_request_ratio']}x fewer"
+                  f" status requests watching vs polling"
+                  f" ({rep['poll']['status_requests']} ->"
+                  f" {rep['watch']['status_requests']},"
+                  f" {rep['watch']['missed_terminal']} missed)")
+            continue
         print(f"{name:>10}: {rep['submits_per_s']:>8.1f} submits/s,"
               f" submit p99 {rep['ops'].get('submit', {}).get('p99_ms', 0)}"
               f" ms, drain {rep['drain']['drain_per_s']}/s,"

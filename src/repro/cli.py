@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .config import BcastVariant, HPLConfig, PFactVariant, Schedule
 from .errors import ConfigError, ReproError, UnknownJobError
@@ -367,11 +368,49 @@ def _print_job_rows(jobs) -> None:
         print(f"{j.id:<14}{j.kind:<8}{j.state:<11}{j.attempts:<7}{note}")
 
 
+def _print_event_row(view) -> None:
+    """Render one :class:`~repro.service.views.EventView` as a line."""
+    stamp = time.strftime("%H:%M:%S", time.localtime(view.t))
+    note = view.data.get("worker") or view.data.get("error", "")
+    print(f"{stamp}  {view.job_id:<14}{view.kind:<12}{view.state:<11}"
+          f"{str(note)[:50]}", flush=True)
+
+
+def _follow_remote(client, job_ids) -> int:
+    """``status --follow`` against a server: stream watch() rows."""
+    try:
+        for view in client.watch(job_ids=job_ids or None):
+            _print_event_row(view)
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+def _follow_local(service, job_ids) -> int:
+    """``status --follow`` on a workdir: long-poll the local broker."""
+    cursor = None
+    try:
+        pending = set(job_ids) if job_ids else None
+        while True:
+            views, cursor, _timed_out = service.events_page(
+                cursor=cursor, timeout=15.0, job_ids=job_ids or None)
+            for view in views:
+                _print_event_row(view)
+                if pending is not None and view.terminal:
+                    pending.discard(view.job_id)
+            if pending is not None and not pending:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     filters = dict(state=args.state or None, kind=args.kind or None,
                    limit=args.limit, offset=args.offset)
     client = _remote_client(args)
     if client is not None:
+        if args.follow:
+            return _follow_remote(client, args.ids)
         if args.ids:
             _print_job_rows([client.job(jid) for jid in args.ids])
             return 0
@@ -381,6 +420,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
         from .service import Service
 
         service = Service(args.workdir)
+        if args.follow:
+            return _follow_local(service, args.ids)
         if args.ids:
             _print_job_rows([service.job_view(jid) for jid in args.ids])
             return 0
@@ -861,6 +902,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="show at most this many jobs")
     p_stat.add_argument("--offset", type=int, default=0,
                         help="skip this many jobs (with --limit: paging)")
+    p_stat.add_argument("--follow", action="store_true",
+                        help="stream job transitions live instead of a "
+                             "snapshot (with ids: exits once they finish; "
+                             "Ctrl-C to stop)")
     p_stat.set_defaults(fn=_cmd_status)
 
     p_res = sub.add_parser("results", help="print results of completed jobs")

@@ -143,6 +143,31 @@ class ChunkIntegrityError(ServiceError):
     http_status = 422
 
 
+class BadCursorError(ServiceError):
+    """An event/queue cursor token is malformed or ahead of the log.
+
+    Cursors are opaque continuation tokens; a token the server cannot
+    decode, one minted against a different shard count, or one whose
+    offsets lie beyond the end of the audit log is rejected outright --
+    the client should restart from ``begin`` (or ``now``).
+    """
+
+    code = "bad_cursor"
+    http_status = 422
+
+
+class EventsTruncatedError(ServiceError):
+    """An event cursor points before a rotated/compacted audit log.
+
+    The events the cursor refers to no longer exist, so resuming from
+    it cannot be exactly-once.  The client must accept the gap: restart
+    from ``begin`` (replays what survived compaction) or ``now``.
+    """
+
+    code = "events_truncated"
+    http_status = 410
+
+
 class CycleError(ServiceError):
     """A submission's dependency edges form a cycle.
 

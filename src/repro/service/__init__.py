@@ -28,6 +28,14 @@ from .api import Service, SubmitReceipt
 from .cache import ResultCache, payload_key
 from .campaign import CampaignStage, CampaignStore, parse_campaign_spec
 from .dag import DagResolver, toposort
+from .events import (
+    BEGIN,
+    NOW,
+    EventBroker,
+    EventFilter,
+    decode_cursor,
+    encode_cursor,
+)
 from .fleet import FleetSummary, RemoteWorkerPool
 from .jobs import Job, JobState, Lease, new_job_id
 from .shard import (
@@ -51,6 +59,7 @@ from .sweep import Sweep, expand_grid
 from .views import (
     CampaignView,
     DagView,
+    EventView,
     JobView,
     QueuePage,
     ResultView,
@@ -60,6 +69,7 @@ from .workers import PoolSummary, WorkerOptions, WorkerPool, register_runner
 
 __all__ = [
     "AdmissionController",
+    "BEGIN",
     "CampaignStage",
     "CampaignStore",
     "CampaignView",
@@ -69,9 +79,13 @@ __all__ = [
     "DEFAULT_INLINE_MAX",
     "DagResolver",
     "DagView",
+    "EventBroker",
+    "EventFilter",
+    "EventView",
     "FleetSummary",
     "Job",
     "MAX_CHUNK_BYTES",
+    "NOW",
     "JobState",
     "JobStore",
     "JobView",
@@ -89,7 +103,9 @@ __all__ = [
     "TokenBucket",
     "WorkerOptions",
     "WorkerPool",
+    "decode_cursor",
     "decode_result",
+    "encode_cursor",
     "detect_shard_workdirs",
     "encode_result",
     "expand_grid",

@@ -31,6 +31,8 @@ from .cache import ResultCache, payload_key
 from .campaign import (CampaignStore, build_campaign_view, build_dag_view,
                        make_record, new_campaign_id, parse_campaign_spec)
 from .dag import DagResolver
+from .events import (EventBroker, EventFilter, decode_queue_cursor,
+                     encode_queue_cursor)
 from .jobs import UNCACHED_KINDS, Job, JobState, Lease, new_job_id
 from .shard import (ShardedStore, detect_shard_workdirs,
                     shard_workdirs as _shard_layout)
@@ -131,6 +133,11 @@ class Service:
         self.dag = DagResolver(self.store)
         self.store.set_terminal_hook(self.dag.on_terminal)
         self.dag.sweep()
+        # The event feed: tails every shard's audit log with resumable
+        # cursors and wakes long-poll/SSE subscribers on append.  Holds
+        # no subscriber state, so constructing it is cheap even for
+        # one-shot CLI calls.
+        self.broker = EventBroker(self.store)
 
     @property
     def nshards(self) -> int:
@@ -405,18 +412,54 @@ class Service:
         return [build_campaign_view(r, self.store)
                 for r in self.campaigns.list()]
 
+    # -- events ----------------------------------------------------------
+
+    def campaign_job_ids(self, campaign_id: str) -> list[str]:
+        """Every job id a campaign expanded into, stage order."""
+        record = self.campaigns.get(campaign_id)
+        return [jid for stage in record["stages"]
+                for jid in stage["job_ids"]]
+
+    def events_page(self, cursor: str | None = None, limit: int = 500,
+                    timeout: float = 0.0, job_ids=None, kinds=None,
+                    states=None, campaign: str | None = None,
+                    ) -> tuple[list, str, bool]:
+        """One (optionally blocking) read of the merged event feed.
+
+        Returns ``(views, next_cursor, timed_out)`` -- the long-poll
+        contract of ``GET /v1/events``.  A ``campaign`` filter expands
+        to the campaign's job-id set (404 on an unknown campaign);
+        combined with an explicit ``job_ids`` the two sets intersect.
+        """
+        if limit < 1:
+            raise MalformedRequestError(f"limit must be >= 1, got {limit}")
+        if campaign is not None:
+            campaign_ids = set(self.campaign_job_ids(campaign))
+            job_ids = (campaign_ids if job_ids is None
+                       else campaign_ids & set(job_ids))
+        filter = EventFilter.build(job_ids=job_ids, kinds=kinds,
+                                   states=states)
+        return self.broker.poll(cursor, limit=limit,
+                                filter=None if filter.empty else filter,
+                                timeout=timeout)
+
     # -- queries ---------------------------------------------------------
 
     def status(self, state: str | None = None, kind: str | None = None,
-               limit: int | None = None, offset: int = 0) -> QueuePage:
+               limit: int | None = None, offset: int = 0,
+               cursor: str | None = None) -> QueuePage:
         """One filtered, windowed page of the queue (a :class:`QueuePage`).
 
         ``state`` filters on lifecycle state (``"DONE"`` etc.), ``kind``
         on job kind; ``limit``/``offset`` window the matches, oldest
-        first.  ``counts`` and ``outstanding`` on the page always cover
-        the whole queue.  Expired leases are swept first so the page
-        never shows a dead worker's jobs as RUNNING.
+        first.  ``cursor`` -- the opaque continuation token a previous
+        page returned -- stands in for ``offset`` (and wins over an
+        explicit one).  ``counts`` and ``outstanding`` on the page
+        always cover the whole queue.  Expired leases are swept first so
+        the page never shows a dead worker's jobs as RUNNING.
         """
+        if cursor is not None:
+            offset = decode_queue_cursor(cursor)
         if state is not None:
             try:
                 state = JobState(state).value
@@ -432,13 +475,17 @@ class Service:
         self.store.expire_leases()
         jobs = self.store.list(state=state, kind=kind, limit=limit,
                                offset=offset)
+        total = self.store.count_matching(state=state, kind=kind)
+        next_cursor = None
+        if limit is not None and limit > 0 and offset + limit < total:
+            next_cursor = encode_queue_cursor(offset + limit)
         return QueuePage(
             jobs=tuple(JobView.from_job(j) for j in jobs),
             counts=self.store.counts(),
-            total=self.store.count_matching(state=state, kind=kind),
+            total=total,
             outstanding=self.store.outstanding(),
             limit=limit, offset=offset, state=state, kind=kind,
-            workdir=self.workdir,
+            workdir=self.workdir, cursor=next_cursor,
         )
 
     def job(self, job_id: str) -> Job:

@@ -51,10 +51,12 @@ from typing import BinaryIO
 
 from ...errors import (
     BackpressureError,
+    BadCursorError,
     ChunkIntegrityError,
     ChunkOffsetError,
     ConfigError,
     CycleError,
+    EventsTruncatedError,
     LeaseConflictError,
     LeaseExpiredError,
     MalformedRequestError,
@@ -69,6 +71,7 @@ from ...errors import (
     UnknownRouteError,
 )
 from ..api import SubmitReceipt
+from ..events import BEGIN, NOW
 from ..jobs import Job, JobState, Lease
 from ..streams import (
     DEFAULT_CHUNK_SIZE,
@@ -78,7 +81,14 @@ from ..streams import (
     iter_chunks,
 )
 from ..sweep import Sweep
-from ..views import CampaignView, DagView, JobView, QueuePage, ResultView
+from ..views import (
+    CampaignView,
+    DagView,
+    EventView,
+    JobView,
+    QueuePage,
+    ResultView,
+)
 
 #: ``code`` in an error body -> the exception class the client raises.
 ERRORS_BY_CODE = {
@@ -89,7 +99,8 @@ ERRORS_BY_CODE = {
         LeaseExpiredError, ChunkOffsetError, ChunkIntegrityError,
         ShardUnavailableError, CycleError, UnknownParentError,
         UnknownCampaignError, BackpressureError, OverloadedError,
-        RateLimitedError, ServiceError,
+        RateLimitedError, BadCursorError, EventsTruncatedError,
+        ServiceError,
     )
 }
 
@@ -153,9 +164,14 @@ def _sweep_spec(sweep) -> dict:
 
 
 def _query(**params) -> str:
-    """Encode non-None params as a query string ('' when all default)."""
-    live = {k: v for k, v in params.items() if v is not None}
-    return "?" + urllib.parse.urlencode(live) if live else ""
+    """Encode non-None params as a query string ('' when all default).
+
+    List/tuple/set values become repeated parameters (``doseq``) -- the
+    shape the event feed's ``job_id``/``kind``/``state`` filters take.
+    """
+    live = {k: sorted(v) if isinstance(v, (set, frozenset)) else v
+            for k, v in params.items() if v is not None}
+    return "?" + urllib.parse.urlencode(live, doseq=True) if live else ""
 
 
 class ServiceClient:
@@ -188,6 +204,8 @@ class ServiceClient:
             f"client-{random.getrandbits(48):012x}"
         self.retry_429 = int(retry_429)
         self.retry_429_cap = float(retry_429_cap)
+        # GET /v1 capability probe result; None until first asked.
+        self._capabilities: frozenset | None = None
 
     # -- transport -------------------------------------------------------
 
@@ -223,10 +241,13 @@ class ServiceClient:
             exc.retry_after = retry_after
         raise exc from None
 
-    def _open(self, request, path: str) -> bytes:
+    def _open(self, request, path: str,
+              timeout: float | None = None) -> bytes:
         """One urlopen round-trip with the v1 error mapping applied."""
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None
+                    else timeout) as resp:
                 return resp.read()
         except urllib.error.HTTPError as exc:
             try:
@@ -240,7 +261,8 @@ class ServiceClient:
                 f"cannot reach service at {self.base_url}: {exc.reason}"
             ) from None
 
-    def _send(self, request, path: str) -> bytes:
+    def _send(self, request, path: str,
+              timeout: float | None = None) -> bytes:
         """``_open`` with transparent 429 retry honoring Retry-After.
 
         Admission rejections (``overloaded``, ``rate_limited``) mean
@@ -253,7 +275,7 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                return self._open(request, path)
+                return self._open(request, path, timeout=timeout)
             except BackpressureError as exc:
                 if attempt >= self.retry_429:
                     raise
@@ -261,14 +283,16 @@ class ServiceClient:
                 hint = getattr(exc, "retry_after", 1.0)
                 time.sleep(min(max(hint, 0.05), self.retry_429_cap))
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 timeout: float | None = None) -> dict:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json",
                      "X-Client-Id": self.client_id},
         )
-        return json.loads(self._send(request, path) or b"{}")
+        return json.loads(
+            self._send(request, path, timeout=timeout) or b"{}")
 
     def _request_raw(self, method: str, path: str, data: bytes) -> dict:
         """Send a raw octet-stream body; parse the JSON response."""
@@ -293,13 +317,18 @@ class ServiceClient:
         return self._request("GET", "/v1/healthz")
 
     def status(self, state: str | None = None, kind: str | None = None,
-               limit: int | None = None, offset: int | None = None
-               ) -> QueuePage:
-        """One filtered, windowed :class:`QueuePage` of the queue."""
+               limit: int | None = None, offset: int | None = None,
+               cursor: str | None = None) -> QueuePage:
+        """One filtered, windowed :class:`QueuePage` of the queue.
+
+        Paginate either by ``limit``/``offset`` or by passing the
+        previous page's opaque ``cursor`` continuation token (the page's
+        ``.cursor`` attribute; ``None`` on the last page).
+        """
         return QueuePage.from_dict(self._request(
             "GET",
             "/v1/queue" + _query(state=state, kind=kind, limit=limit,
-                                 offset=offset),
+                                 offset=offset, cursor=cursor),
         ))
 
     #: ``queue`` and ``status`` are the same page; both names kept
@@ -542,6 +571,250 @@ class ServiceClient:
             {"lease": lease_id, "error": error},
         )["job"])
 
+    # -- events & watch --------------------------------------------------
+
+    def capabilities(self) -> frozenset:
+        """The server's capability set, from one cached ``GET /v1``.
+
+        A pre-events server has no discovery endpoint; its 404 is
+        remembered as the empty set, so feature probes cost at most one
+        round-trip per client for the connection's lifetime.
+        """
+        if self._capabilities is None:
+            try:
+                doc = self._request("GET", "/v1")
+                caps = doc.get("capabilities", ())
+                self._capabilities = frozenset(
+                    c for c in caps if isinstance(c, str))
+            except (UnknownRouteError, UnknownJobError):
+                self._capabilities = frozenset()
+        return self._capabilities
+
+    def supports_events(self) -> bool:
+        """Whether the server pushes events (else watch/wait poll)."""
+        return "events" in self.capabilities()
+
+    def events(self, cursor: str | None = None, timeout: float = 0.0,
+               limit: int | None = None, job_ids=None, kinds=None,
+               states=None, campaign: str | None = None,
+               ) -> tuple[list[EventView], str, bool]:
+        """One ``GET /v1/events`` long-poll round-trip.
+
+        Returns ``(events, next_cursor, timed_out)``.  ``cursor`` is an
+        opaque token from a previous call, ``"begin"`` (everything the
+        logs hold -- the default), or ``"now"`` (only what happens from
+        here on).  With ``timeout > 0`` the server holds the request
+        open until a matching event arrives; the socket timeout is
+        stretched to cover it.  Filters (``job_ids``, ``kinds``,
+        ``states``, ``campaign``) are applied server-side.
+        """
+        body = self._request(
+            "GET",
+            "/v1/events" + _query(cursor=cursor, timeout=timeout or None,
+                                  limit=limit, job_id=job_ids,
+                                  kind=kinds, state=states,
+                                  campaign=campaign),
+            timeout=self.timeout + max(0.0, timeout),
+        )
+        views = [EventView.from_dict(e) for e in body.get("events", ())]
+        return views, body.get("cursor", ""), bool(body.get("timed_out"))
+
+    def events_stream(self, cursor: str | None = None, job_ids=None,
+                      kinds=None, states=None,
+                      campaign: str | None = None,
+                      heartbeat: float = 15.0, reconnect: bool = True,
+                      reconnect_delay: float = 0.2):
+        """Generator over the SSE feed, resuming across disconnects.
+
+        Yields :class:`EventView`\\ s as the server pushes them.  Each
+        event's cursor is remembered; when the connection drops (server
+        restart, network blip) and ``reconnect`` is true, the stream
+        reconnects with ``Last-Event-ID`` set to the last delivered
+        cursor, so every event is observed exactly once across the gap.
+        Infinite by design -- the consumer decides when to stop.
+        """
+        token = cursor
+        while True:
+            query = _query(job_id=job_ids, kind=kinds, state=states,
+                           campaign=campaign, heartbeat=heartbeat)
+            headers = {"Accept": "text/event-stream",
+                       "X-Client-Id": self.client_id}
+            if token:
+                headers["Last-Event-ID"] = token
+            request = urllib.request.Request(
+                self.base_url + "/v1/events" + query, headers=headers)
+            try:
+                resp = urllib.request.urlopen(
+                    request, timeout=self.timeout + heartbeat)
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read() or b"{}")
+                except (json.JSONDecodeError, OSError):
+                    payload = {}
+                self._raise_for(exc.code,
+                                payload if isinstance(payload, dict)
+                                else {}, "/v1/events", headers=exc.headers)
+            except urllib.error.URLError as exc:
+                if not reconnect:
+                    raise ServiceError(
+                        f"cannot reach service at {self.base_url}:"
+                        f" {exc.reason}") from None
+                time.sleep(reconnect_delay)
+                continue
+            try:
+                with resp:
+                    for view in self._parse_sse(resp):
+                        token = view.cursor
+                        yield view
+            except (ConnectionError, TimeoutError, OSError):
+                pass  # fall through to reconnect (or stop) below
+            if not reconnect:
+                return
+            time.sleep(reconnect_delay)
+
+    @staticmethod
+    def _parse_sse(resp):
+        """Yield :class:`EventView`\\ s from one SSE response body."""
+        data_lines: list[str] = []
+        while True:
+            raw = resp.readline()
+            if not raw:  # EOF: server closed the stream
+                return
+            line = raw.decode("utf-8", "replace").rstrip("\r\n")
+            if not line:  # blank line dispatches the pending frame
+                if data_lines:
+                    record = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield EventView.from_dict(record)
+                continue
+            if line.startswith(":"):  # heartbeat comment
+                continue
+            field, _, value = line.partition(":")
+            if value.startswith(" "):
+                value = value[1:]
+            if field == "data":
+                data_lines.append(value)
+            # ``event:`` and ``id:`` duplicate fields already inside
+            # the data JSON (kind, cursor); nothing else to track.
+
+    def watch(self, job_ids=None, kinds=None, states=None,
+              campaign: str | None = None, cursor: str | None = None,
+              timeout: float | None = None, poll: float = 15.0):
+        """Generator of :class:`EventView`\\ s for a set of jobs.
+
+        With ``job_ids``, the stream ends once every watched job has
+        been seen reaching a terminal state; without, it streams
+        matching events until ``timeout`` (forever when ``None``).
+        Starts from ``cursor`` (default ``"begin"``: full replay, so a
+        job that finished before the watch began is still seen
+        finishing).  Raises :class:`WaitTimeout` when a deadline passes
+        with watched jobs outstanding.
+
+        Against a pre-events server this transparently degrades to
+        polling job states and synthesizing an :class:`EventView` per
+        observed transition -- same consumer loop either way.
+        """
+        watched = list(dict.fromkeys(job_ids)) if job_ids is not None \
+            else None
+        if not self.supports_events():
+            yield from self._watch_poll(watched, timeout)
+            return
+        pending = set(watched) if watched is not None else None
+        if pending is not None and not pending:
+            return
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        token = cursor
+        checked_current = False
+        while True:
+            budget = poll
+            if deadline is not None:
+                budget = min(budget, max(0.0, deadline - time.monotonic()))
+            try:
+                batch, token, timed_out = self.events(
+                    cursor=token, timeout=budget, job_ids=watched,
+                    kinds=kinds, states=states, campaign=campaign)
+            except EventsTruncatedError:
+                # The log was compacted past our offset; restart from
+                # the new beginning and let the state check below cover
+                # any transitions that fell off the log.
+                token = BEGIN
+                checked_current = False
+                continue
+            for view in batch:
+                if pending is not None and view.job_id not in pending:
+                    continue  # late event for an already-finished job
+                yield view
+                if pending is not None and view.terminal:
+                    pending.discard(view.job_id)
+                    if not pending:
+                        return
+            if pending is not None and not batch and not checked_current:
+                # Caught up with nothing pending resolved: guard the
+                # one hole event replay cannot cover -- a watched job
+                # whose terminal event predates a compacted log.  One
+                # state check per watched job, once per watch.
+                checked_current = True
+                for jid in sorted(pending):
+                    view = self._synthesize(self.job(jid))
+                    if view.terminal:
+                        yield view
+                        pending.discard(jid)
+                if not pending:
+                    return
+            if deadline is not None and time.monotonic() >= deadline:
+                if pending is not None:
+                    raise WaitTimeout(sorted(pending), timeout)
+                return
+
+    def _watch_poll(self, watched, timeout: float | None,
+                    poll_initial: float = 0.05, poll_max: float = 2.0):
+        """Old-server ``watch``: poll states, synthesize transitions."""
+        if watched is None:
+            raise ServiceError(
+                "watch() without job_ids needs a server with the"
+                " events capability"
+            )
+        pending = set(watched)
+        last: dict[str, str] = {}
+        backoff = _Backoff(poll_initial, poll_max, 2.0, 0.25,
+                           random.Random())
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while pending:
+            progressed = False
+            for jid in sorted(pending):
+                job = self.job(jid)
+                if last.get(jid) != job.state:
+                    last[jid] = job.state
+                    progressed = True
+                    yield self._synthesize(job)
+                    if job.state in TERMINAL_STATES:
+                        pending.discard(jid)
+            if not pending:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WaitTimeout(sorted(pending), timeout)
+            delay = backoff.next_delay(progressed)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
+
+    @staticmethod
+    def _synthesize(job: JobView) -> EventView:
+        """An :class:`EventView` standing in for an unobserved event.
+
+        Used where the real audit record is unavailable (pre-events
+        server, compacted log): the view carries the job's current
+        state with ``kind`` lowered from it and ``shard=-1`` marking it
+        synthesized.
+        """
+        return EventView(
+            cursor="", t=job.updated, job_id=job.id,
+            kind=job.state.lower(), state=job.state, shard=-1,
+            data={"synthesized": True},
+        )
+
     # -- polling ---------------------------------------------------------
 
     def wait(self, job_ids, timeout: float | None = None,
@@ -550,9 +823,38 @@ class ServiceClient:
              rng: random.Random | None = None) -> dict[str, ResultView]:
         """Block until every job is terminal; id -> :class:`ResultView`.
 
-        The synchronous twin of :meth:`AsyncServiceClient.wait`, with
-        the same backoff-and-jitter polling policy.
+        On a server with the events capability this rides
+        :meth:`watch` -- one long-poll connection instead of
+        O(jobs x polls) status requests.  Against an older server it
+        degrades to the historical poll loop, byte-compatible on the
+        wire with pre-events clients.  The synchronous twin of
+        :meth:`AsyncServiceClient.wait`.
         """
+        outstanding = list(dict.fromkeys(job_ids))
+        if not outstanding:
+            return {}
+        if not self.supports_events():
+            return self._wait_poll(outstanding, timeout, poll_initial,
+                                   poll_max, poll_factor, jitter, rng)
+        views: dict[str, ResultView] = {}
+        try:
+            for view in self.watch(job_ids=outstanding,
+                                   states=TERMINAL_STATES,
+                                   timeout=timeout):
+                if view.terminal and view.job_id not in views:
+                    views[view.job_id] = self.result(view.job_id)
+        except WaitTimeout:
+            raise WaitTimeout(
+                [jid for jid in outstanding if jid not in views], timeout
+            ) from None
+        return views
+
+    def _wait_poll(self, job_ids, timeout: float | None = None,
+                   poll_initial: float = 0.05, poll_max: float = 2.0,
+                   poll_factor: float = 2.0, jitter: float = 0.25,
+                   rng: random.Random | None = None
+                   ) -> dict[str, ResultView]:
+        """The historical poll-with-backoff ``wait`` (old servers)."""
         outstanding = list(dict.fromkeys(job_ids))
         views: dict[str, ResultView] = {}
         backoff = _Backoff(poll_initial, poll_max, poll_factor, jitter,
@@ -697,14 +999,79 @@ class AsyncServiceClient:
         return await self._call(self._client.fail, job_id, lease_id,
                                 error)
 
+    # -- events & watch --------------------------------------------------
+
+    async def capabilities(self) -> frozenset:
+        return await self._call(self._client.capabilities)
+
+    async def supports_events(self) -> bool:
+        return await self._call(self._client.supports_events)
+
+    async def events(self, cursor: str | None = None,
+                     timeout: float = 0.0, limit: int | None = None,
+                     job_ids=None, kinds=None, states=None,
+                     campaign: str | None = None,
+                     ) -> tuple[list[EventView], str, bool]:
+        return await self._call(self._client.events, cursor=cursor,
+                                timeout=timeout, limit=limit,
+                                job_ids=job_ids, kinds=kinds,
+                                states=states, campaign=campaign)
+
+    async def watch(self, job_ids=None, kinds=None, states=None,
+                    campaign: str | None = None,
+                    cursor: str | None = None,
+                    timeout: float | None = None, poll: float = 15.0):
+        """Async generator twin of :meth:`ServiceClient.watch`.
+
+        The blocking generator runs on the executor one step at a time,
+        so many watches can share one event loop; long-poll blocking
+        happens off-loop.
+        """
+        iterator = self._client.watch(job_ids=job_ids, kinds=kinds,
+                                      states=states, campaign=campaign,
+                                      cursor=cursor, timeout=timeout,
+                                      poll=poll)
+        loop = asyncio.get_running_loop()
+        sentinel = object()
+        while True:
+            view = await loop.run_in_executor(None, next, iterator,
+                                              sentinel)
+            if view is sentinel:
+                return
+            yield view
+
     async def wait(self, job_ids,
                    timeout: float | None = None) -> dict[str, ResultView]:
-        """Poll until every job id is terminal; id -> :class:`ResultView`.
+        """Wait until every job id is terminal; id -> :class:`ResultView`.
 
         Covers DONE, FAILED, and CANCELLED alike -- callers decide what
         failure means for them.  Raises :class:`WaitTimeout` if
-        ``timeout`` seconds pass first.
+        ``timeout`` seconds pass first.  Rides :meth:`watch` on servers
+        with the events capability; degrades to the historical
+        backoff-and-jitter poll loop against older servers.
         """
+        outstanding = list(dict.fromkeys(job_ids))
+        if not outstanding:
+            return {}
+        if not await self.supports_events():
+            return await self._wait_poll(outstanding, timeout)
+        views: dict[str, ResultView] = {}
+        try:
+            async for view in self.watch(job_ids=outstanding,
+                                         states=TERMINAL_STATES,
+                                         timeout=timeout):
+                if view.terminal and view.job_id not in views:
+                    views[view.job_id] = await self.result(view.job_id)
+        except WaitTimeout:
+            raise WaitTimeout(
+                [jid for jid in outstanding if jid not in views], timeout
+            ) from None
+        return views
+
+    async def _wait_poll(self, job_ids,
+                         timeout: float | None = None
+                         ) -> dict[str, ResultView]:
+        """The historical poll-with-backoff ``wait`` (old servers)."""
         outstanding = list(dict.fromkeys(job_ids))
         views: dict[str, ResultView] = {}
         backoff = _Backoff(self.poll_initial, self.poll_max,

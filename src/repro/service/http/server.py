@@ -15,6 +15,8 @@ v1 endpoints (request/response bodies are JSON unless marked *bytes*):
 =======  ==================================  ===============================
 method   path                                action
 =======  ==================================  ===============================
+GET      ``/v1``                             API discovery: ``{"version",
+                                             "endpoints", "capabilities"}``
 POST     ``/v1/jobs``                        submit -> ``{"receipt": ...}``
 POST     ``/v1/jobs/batch``                  N submissions, one round-trip
                                              -> ``{"receipts": [...]}``
@@ -36,8 +38,20 @@ GET      ``/v1/campaigns``                   ``{"campaigns": [...]}``
 GET      ``/v1/campaigns/{id}``              progress -> ``{"campaign"}``
 GET      ``/v1/campaigns/{id}/dag``          node graph -> ``{"dag": ...}``
 GET      ``/v1/queue``                       queue page (same as GET jobs)
+GET      ``/v1/events``                      merged audit-event feed:
+                                             long-poll (``?cursor&timeout``)
+                                             or SSE (``Accept:
+                                             text/event-stream``)
 GET      ``/v1/healthz``                     liveness + per-state depths
 =======  ==================================  ===============================
+
+Queue pages (``GET /v1/queue`` / ``GET /v1/jobs``) paginate by
+``limit``/``offset`` or by the opaque ``cursor`` continuation token the
+previous page returned -- the same continuation idiom the event feed
+uses.  The event feed is documented in ``docs/service.md`` ("Events &
+watch"): resumable cursors over the per-shard audit logs, server-side
+``job_id``/``campaign``/``state``/``kind`` filters, SSE heartbeat
+comments and ``Last-Event-ID`` resume.
 
 Submissions may carry ``depends_on`` (a list of parent job ids): the
 job enters ``BLOCKED`` and is released only when every parent is
@@ -50,7 +64,8 @@ stable machine-readable identifier the raised
 :class:`~repro.errors.ReproError` subclass carries (``bad_config`` 400,
 ``malformed`` 400, ``unknown_job`` / ``unknown_route`` /
 ``unknown_parent`` / ``unknown_campaign`` 404, ``unknown_kind`` /
-``cycle_detected`` 422, ``bad_offset`` / ``bad_chunk`` 422,
+``cycle_detected`` 422, ``bad_offset`` / ``bad_chunk`` /
+``bad_cursor`` 422, ``events_truncated`` 410,
 ``conflict`` / ``lease_expired`` 409, ``overloaded`` /
 ``rate_limited`` 429 with a ``Retry-After`` header,
 ``shard_unavailable`` 503); the HTTP status comes from the same class.
@@ -64,7 +79,10 @@ Admission control (off by default) guards the three submit routes --
 queue-depth watermark and per-client token buckets keyed on the
 ``X-Client-Id`` header; see :mod:`repro.service.admission`.  Reads,
 cancels, and the lease protocol are never gated, so workers can always
-drain and clients can always observe a saturated queue.
+drain and clients can always observe a saturated queue.  ``GET
+/v1/events`` is read-class by the same rule: a watcher is never 429'd,
+which is the whole point -- watching must stay cheaper than the polling
+it replaces even (especially) when the queue is saturated.
 """
 
 from __future__ import annotations
@@ -248,6 +266,58 @@ def _int_param(params: dict, name: str, default=None):
         ) from None
 
 
+def _float_param(params: dict, name: str, default=None):
+    raw = params.get(name, [None])[-1]
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise MalformedRequestError(
+            f"query parameter {name!r} must be a number, got {raw!r}"
+        ) from None
+
+
+#: Long-poll waits and SSE heartbeat intervals are clamped to this many
+#: seconds so one subscriber can never park a handler thread for long
+#: without the server getting a say (clients simply re-poll).
+MAX_EVENT_WAIT = 60.0
+
+#: Per-response cap on the event batch size (and per-shard scan window).
+MAX_EVENT_LIMIT = 1000
+
+#: Things this server can do beyond the PR-3 v1 baseline, for client
+#: feature detection via ``GET /v1`` -- one probe instead of sniffing
+#: 404s per endpoint.
+CAPABILITIES = ("batch", "campaigns", "cursor_queue", "dag", "events",
+                "leases", "streams")
+
+#: The endpoint table ``GET /v1`` serves, mirroring the module docstring.
+ENDPOINTS = (
+    "GET /v1",
+    "GET /v1/events",
+    "GET /v1/healthz",
+    "GET /v1/jobs",
+    "GET /v1/jobs/{id}",
+    "GET /v1/jobs/{id}/result",
+    "GET /v1/jobs/{id}/result/chunks",
+    "GET /v1/campaigns",
+    "GET /v1/campaigns/{id}",
+    "GET /v1/campaigns/{id}/dag",
+    "GET /v1/queue",
+    "POST /v1/jobs",
+    "POST /v1/jobs/batch",
+    "POST /v1/jobs/{id}/cancel",
+    "POST /v1/jobs/{id}/complete",
+    "POST /v1/jobs/{id}/fail",
+    "POST /v1/jobs/{id}/result/chunks",
+    "POST /v1/jobs/{id}/result/finish",
+    "POST /v1/leases",
+    "POST /v1/leases/{id}/heartbeat",
+    "POST /v1/campaigns",
+)
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
@@ -327,6 +397,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(500, "internal",
                                   f"{type(exc).__name__}: {exc}")
         else:
+            if status is None:
+                return  # the route streamed its own response (SSE)
             if isinstance(obj, (bytes, bytearray)):
                 self._send_bytes(status, bytes(obj))
             else:
@@ -372,12 +444,118 @@ class _Handler(BaseHTTPRequestHandler):
             state=state, kind=kind,
             limit=_int_param(params, "limit"),
             offset=_int_param(params, "offset", 0),
+            cursor=params.get("cursor", [None])[-1] or None,
         )
         return page.to_dict()
+
+    # -- the event feed --------------------------------------------------
+
+    def _events_enabled(self) -> bool:
+        return getattr(self.server, "events_enabled", True)
+
+    def _parse_event_query(self, query: str) -> dict:
+        """Shared long-poll/SSE parameter parsing -> events_page kwargs.
+
+        SSE resume prefers an explicit ``cursor`` param, falling back to
+        the standard ``Last-Event-ID`` header an EventSource reconnect
+        sends.
+        """
+        params = urllib.parse.parse_qs(query)
+        cursor = params.get("cursor", [None])[-1]
+        if cursor is None:
+            cursor = self.headers.get("Last-Event-ID") or None
+        limit = _int_param(params, "limit", 500)
+        if limit < 1 or limit > MAX_EVENT_LIMIT:
+            raise MalformedRequestError(
+                f"limit must be 1..{MAX_EVENT_LIMIT}, got {limit}"
+            )
+        timeout = _float_param(params, "timeout", 0.0)
+        timeout = min(max(0.0, timeout), MAX_EVENT_WAIT)
+        return {
+            "cursor": cursor,
+            "limit": limit,
+            "timeout": timeout,
+            "job_ids": params.get("job_id") or None,
+            "kinds": params.get("kind") or None,
+            "states": params.get("state") or None,
+            "campaign": params.get("campaign", [None])[-1] or None,
+        }
+
+    def _events_route(self, query: str) -> tuple:
+        if not self._events_enabled():
+            raise UnknownRouteError("no such endpoint: GET /v1/events")
+        kwargs = self._parse_event_query(query)
+        accept = self.headers.get("Accept", "")
+        if "text/event-stream" in accept:
+            params = urllib.parse.parse_qs(query)
+            heartbeat = _float_param(params, "heartbeat", 15.0)
+            heartbeat = min(max(0.2, heartbeat), MAX_EVENT_WAIT)
+            self._serve_sse(kwargs, heartbeat)
+            return None, None
+        views, cursor, timed_out = self.service.events_page(**kwargs)
+        return 200, {
+            "events": [v.to_dict() for v in views],
+            "cursor": cursor,
+            "timed_out": timed_out,
+        }
+
+    def _serve_sse(self, kwargs: dict, heartbeat: float) -> None:
+        """Stream the feed as Server-Sent Events until the client leaves.
+
+        Every event frame carries ``id:`` -- the cursor just past that
+        event -- so a reconnecting client resumes exactly-once via
+        ``Last-Event-ID``.  Comment frames (``: heartbeat``) flow every
+        ``heartbeat`` seconds of silence to keep intermediaries from
+        reaping the idle connection.  This is the one response the
+        server frames by connection close instead of Content-Length.
+        """
+        # Resolve the cursor *before* streaming starts so a bad token
+        # still gets its proper 422/410 JSON error.
+        self.service.broker.resolve(kwargs["cursor"])
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        kwargs = dict(kwargs)
+        try:
+            while True:
+                kwargs["timeout"] = heartbeat
+                views, cursor, timed_out = \
+                    self.service.events_page(**kwargs)
+                kwargs["cursor"] = cursor
+                if timed_out:
+                    self.wfile.write(b": heartbeat\n\n")
+                for view in views:
+                    frame = (
+                        f"event: {view.kind}\n"
+                        f"id: {view.cursor}\n"
+                        f"data: {json.dumps(view.to_dict(), sort_keys=True)}"
+                        f"\n\n"
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # the client went away; the cursor it holds resumes
 
     def _route_get(self) -> tuple[int, dict]:
         path, _, query = self.path.partition("?")
         path = path.rstrip("/") or "/"
+        if path == "/v1":
+            # Discovery: clients feature-detect ("events", "batch", ...)
+            # with one probe instead of sniffing 404s per endpoint.
+            if not self._events_enabled():
+                raise UnknownRouteError("no such endpoint: GET /v1")
+            return 200, {
+                "version": "1",
+                "service": "repro",
+                "capabilities": list(CAPABILITIES),
+                "endpoints": list(ENDPOINTS),
+                "nshards": self.service.nshards,
+            }
+        if path == "/v1/events":
+            return self._events_route(query)
         if path == "/v1/healthz":
             shards = self.service.shard_stats()
             degraded = [s["workdir"] for s in shards if not s["ok"]]
@@ -610,6 +788,10 @@ class _Server(ThreadingHTTPServer):
     quiet: bool = True
     workers: int = 0
     admission: AdmissionController | None = None
+    #: ``False`` emulates a pre-events server (no ``GET /v1``, no
+    #: ``GET /v1/events``) so tests can prove the clients' poll
+    #: fallback against the modern codebase.
+    events_enabled: bool = True
 
 
 class ServiceHTTPServer:
@@ -632,7 +814,8 @@ class ServiceHTTPServer:
                  busy_timeout: float = 30.0,
                  inline_max: int = DEFAULT_INLINE_MAX,
                  max_queue_depth: int = 0, rate_limit: float = 0.0,
-                 rate_burst: float | None = None) -> None:
+                 rate_burst: float | None = None,
+                 events: bool = True) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
         self.service = Service(workdir, backoff_base=backoff_base,
@@ -656,6 +839,7 @@ class ServiceHTTPServer:
         self._httpd.quiet = quiet
         self._httpd.workers = workers
         self._httpd.admission = self.admission
+        self._httpd.events_enabled = events
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: threading.Thread | None = None
         self._pool_threads: list[threading.Thread] = []

@@ -37,11 +37,17 @@ import time
 import urllib.parse
 
 #: The operation names a mix may weight.
-OPERATIONS = ("submit", "batch", "status", "result", "cancel")
+OPERATIONS = ("submit", "batch", "status", "result", "cancel", "watch")
 
 #: Default operation mix: submit-heavy, like a sweep-driven workload.
+#: ``watch`` (one resumable ``GET /v1/events`` long-poll per draw,
+#: cursor carried between draws) is off by default -- scenarios opt in.
 DEFAULT_MIX = {"submit": 6, "batch": 1, "status": 2, "result": 2,
                "cancel": 1}
+
+#: Long-poll hold per ``watch`` draw; short so a watch-heavy mix still
+#: ticks through enough operations to measure within a storm.
+WATCH_POLL_S = 1.0
 
 #: Jobs per batch-submit operation.
 DEFAULT_BATCH_SIZE = 25
@@ -184,6 +190,10 @@ async def _one_worker(url: str, worker_id: str, deadline: float,
     ops = [op for op in OPERATIONS if mix.get(op, 0) > 0]
     weights = [mix[op] for op in ops]
     seq = 0
+    # Each coroutine is one subscriber: its event cursor persists
+    # across ``watch`` draws, so the feed is consumed incrementally
+    # the way a real watching client would.
+    cursor = "now"
     try:
         while time.monotonic() < deadline:
             op = rng.choices(ops, weights)[0]
@@ -214,6 +224,15 @@ async def _one_worker(url: str, worker_id: str, deadline: float,
                     jid = rng.choice(submitted_ids)
                     status, body = await client.request(
                         "POST", f"/v1/jobs/{jid}/cancel")
+                elif op == "watch":
+                    status, body = await client.request(
+                        "GET", "/v1/events?cursor="
+                        + urllib.parse.quote(cursor)
+                        + f"&timeout={WATCH_POLL_S}&limit=100")
+                    if status == 200 and body.get("cursor"):
+                        cursor = body["cursor"]
+                    elif status in (410, 422):
+                        cursor = "now"  # resync a stale/foreign cursor
                 else:
                     # No ids yet to read or cancel: probe liveness so
                     # the tick still measures something.

@@ -171,6 +171,24 @@ class ShardedStore:
         merged.sort(key=lambda e: e.get("t", 0.0))
         return merged
 
+    def event_stores(self) -> list[JobStore]:
+        """The per-shard stores whose audit logs the event feed tails.
+
+        Index order is the feed's shard numbering: cursor tokens encode
+        one offset per entry of this list, so the order must be stable
+        across restarts (it is -- shard workdirs are sorted on open).
+        """
+        return list(self.shards)
+
+    def set_event_hook(self, callback) -> None:
+        """Install the append callback on every shard's audit log."""
+        for shard in self.shards:
+            shard.set_event_hook(callback)
+
+    def truncate_events(self) -> list[int]:
+        """Compact every shard's audit log; returns the new bases."""
+        return [shard.truncate_events() for shard in self.shards]
+
     # -- writes ----------------------------------------------------------
 
     def add(self, job: Job) -> Job:

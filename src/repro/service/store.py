@@ -23,7 +23,9 @@ import threading
 import time
 
 from ..errors import (
+    BadCursorError,
     ChunkOffsetError,
+    EventsTruncatedError,
     LeaseConflictError,
     LeaseExpiredError,
     UnknownJobError,
@@ -118,6 +120,7 @@ class JobStore:
         os.makedirs(self.workdir, exist_ok=True)
         self.db_path = os.path.join(self.workdir, "jobs.sqlite")
         self.events_path = os.path.join(self.workdir, "events.jsonl")
+        self.events_base_path = os.path.join(self.workdir, "events.base")
         self.staging_dir = os.path.join(self.workdir, "staging")
         self.busy_timeout = busy_timeout
         self._local = threading.local()
@@ -129,6 +132,11 @@ class JobStore:
         #: release or cancel dependent jobs event-driven; see
         #: :meth:`set_terminal_hook`.
         self.on_terminal = None
+        #: Callback fired after every audit-log append; the event broker
+        #: hangs off this to wake long-poll/SSE subscribers without
+        #: busy-polling the log.  See :meth:`set_event_hook`.
+        self.on_event = None
+        self._repair_events_tail()
         self._connection()  # create the schema eagerly
 
     # -- connection management -------------------------------------------
@@ -161,6 +169,12 @@ class JobStore:
         with self._events_lock:
             with open(self.events_path, "a") as fh:
                 fh.write(line)
+        callback = self.on_event
+        if callback is not None:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 -- wake-ups are best-effort
+                pass
 
     def log_event(self, job_id: str, event: str, **extra) -> None:
         """Append a custom record to the JSONL audit log."""
@@ -172,6 +186,147 @@ class JobStore:
             return []
         with open(self.events_path) as fh:
             return [json.loads(line) for line in fh if line.strip()]
+
+    # -- event cursors (resumable audit-log reads) -----------------------
+    #
+    # Every event has a stable *logical* offset: the byte position just
+    # past its line, plus the bytes discarded by earlier compactions
+    # (``events.base`` holds that discarded-byte count).  Offsets only
+    # ever grow, so a cursor held across a coordinator restart -- or a
+    # compaction -- still means the same position in the stream.
+
+    def event_stores(self) -> list["JobStore"]:
+        """The stores whose logs an event feed over this store tails.
+
+        A plain store is its own single shard; :class:`ShardedStore`
+        overrides this with its shard list.  Gives the event broker one
+        uniform surface over both.
+        """
+        return [self]
+
+    def set_event_hook(self, callback) -> None:
+        """Install ``callback()``, fired after every audit-log append.
+
+        Runs outside the events lock (and outside any transaction) so a
+        broker may immediately read the log from it.  Exceptions are
+        swallowed: appending an audit event must never fail because a
+        subscriber misbehaved.
+        """
+        self.on_event = callback
+
+    def _repair_events_tail(self) -> None:
+        """Terminate a torn final line left by a SIGKILLed writer.
+
+        A coordinator killed mid-append can leave ``events.jsonl``
+        without a trailing newline; the next append would then fuse two
+        records into one unparseable line.  Sealing the torn tail with a
+        newline on open costs one byte and keeps every *later* event
+        intact (the torn record itself is lost either way -- readers
+        skip the unparseable line but still advance past it).
+        """
+        try:
+            with self._events_lock, open(self.events_path, "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+        except OSError:
+            pass  # no log yet
+
+    def events_base(self) -> int:
+        """Logical offset of the first byte still present in the log."""
+        try:
+            with open(self.events_base_path) as fh:
+                return int(fh.read().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
+    def events_end(self) -> int:
+        """Logical offset just past the last byte of the log."""
+        try:
+            size = os.path.getsize(self.events_path)
+        except OSError:
+            size = 0
+        return self.events_base() + size
+
+    def read_events(self, offset: int, limit: int | None = None,
+                    ) -> tuple[list[tuple[dict, int]], int]:
+        """Complete events at logical ``offset`` on, with their offsets.
+
+        Returns ``(batch, next_offset)`` where ``batch`` pairs each
+        parsed record with the logical offset just past its line --
+        resuming from that offset never re-reads the record, so a
+        cursor-driven reader sees every event exactly once.  Only lines
+        terminated by a newline are consumed: a line still being
+        appended is left for the next call, so no read ever yields a
+        torn record.  Unparseable lines (a sealed torn tail) are
+        skipped but still advance ``next_offset``.
+
+        Raises :class:`EventsTruncatedError` when ``offset`` precedes a
+        compaction and :class:`BadCursorError` when it lies beyond the
+        end of the log.
+        """
+        base = self.events_base()
+        if offset < base:
+            raise EventsTruncatedError(
+                f"cursor offset {offset} precedes the compacted log"
+                f" (events before offset {base} are gone)"
+            )
+        batch: list[tuple[dict, int]] = []
+        try:
+            fh = open(self.events_path, "rb")
+        except OSError:
+            if offset > base:
+                raise BadCursorError(
+                    f"cursor offset {offset} is beyond the end of the"
+                    f" log ({base})"
+                ) from None
+            return batch, offset
+        with fh:
+            fh.seek(0, os.SEEK_END)
+            end = base + fh.tell()
+            if offset > end:
+                raise BadCursorError(
+                    f"cursor offset {offset} is beyond the end of the"
+                    f" log ({end})"
+                )
+            fh.seek(offset - base)
+            position = offset
+            while limit is None or len(batch) < limit:
+                line = fh.readline()
+                if not line.endswith(b"\n"):
+                    break  # torn tail (or EOF): leave it for later
+                position += len(line)
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # sealed torn line: skip, offset advances
+                batch.append((record, position))
+        return batch, position
+
+    def truncate_events(self) -> int:
+        """Compact the audit log by discarding every event in it.
+
+        The discarded byte count folds into ``events.base``, so logical
+        offsets keep their meaning: a cursor minted before the
+        compaction either still points at live data (offset == end) or
+        gets :class:`EventsTruncatedError` on its next read.  Returns
+        the new base offset.
+        """
+        with self._events_lock:
+            try:
+                dropped = os.path.getsize(self.events_path)
+            except OSError:
+                dropped = 0
+            base = self.events_base() + dropped
+            tmp = self.events_base_path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(f"{base}\n")
+            os.replace(tmp, self.events_base_path)
+            with open(self.events_path, "w"):
+                pass
+        return base
 
     # -- DAG hook --------------------------------------------------------
 

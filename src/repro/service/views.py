@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from .jobs import Job
+from .jobs import Job, JobState
+
+_TERMINAL_STATES = frozenset(s.value for s in JobState if s.terminal)
 
 
 def one_line(error: str) -> str:
@@ -107,6 +109,11 @@ class QueuePage:
     state: str | None = None
     kind: str | None = None
     workdir: str = ""
+    #: Opaque continuation token for the next page, or ``None`` when
+    #: this page reaches the end of the match set.  Shares the event
+    #: feed's cursor idiom; tolerated missing so pages from an older
+    #: server still parse.
+    cursor: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -119,6 +126,7 @@ class QueuePage:
             "state": self.state,
             "kind": self.kind,
             "workdir": self.workdir,
+            "cursor": self.cursor,
         }
 
     @classmethod
@@ -129,6 +137,55 @@ class QueuePage:
             outstanding=data["outstanding"], limit=data["limit"],
             offset=data["offset"], state=data.get("state"),
             kind=data.get("kind"), workdir=data.get("workdir", ""),
+            cursor=data.get("cursor"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EventView:
+    """One audit-log event as it crosses the v1 event feed.
+
+    ``cursor`` is the opaque continuation token positioned *just past*
+    this event -- resuming a feed from it (long-poll ``?cursor=`` or SSE
+    ``Last-Event-ID``) never replays the event, which is what makes the
+    feed exactly-once.  ``kind`` is the audit event name (``submitted``,
+    ``claimed``, ``done``, ...); ``state`` is the job state the event
+    implies (explicit in the record, or derived from the event name),
+    empty for events that carry none.  ``data`` holds every extra field
+    of the raw record (``worker``, ``lease``, ``error``, the job's own
+    ``kind`` for submissions, ...).
+    """
+
+    cursor: str
+    t: float
+    job_id: str
+    kind: str
+    state: str
+    shard: int
+    data: dict
+
+    @property
+    def terminal(self) -> bool:
+        """True when this event put the job in a terminal state."""
+        return self.state in _TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "cursor": self.cursor,
+            "t": self.t,
+            "job": self.job_id,
+            "event": self.kind,
+            "state": self.state,
+            "shard": self.shard,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventView":
+        return cls(
+            cursor=data["cursor"], t=data["t"], job_id=data["job"],
+            kind=data["event"], state=data.get("state", ""),
+            shard=data.get("shard", 0), data=data.get("data", {}),
         )
 
 
