@@ -1,0 +1,192 @@
+"""Simulator-speed benchmark: fast engine vs the per-task object engine.
+
+The vectorized closed-form timeline (``fidelity="fast"``) exists to make
+the Fig. 8 sweep and service-tier sim jobs cheap; this benchmark keeps
+that claim honest.  For each Fig. 8 sweep point it times the full
+object engine against the fast engine twice -- *cold* (the memoized
+:func:`~repro.perf.fastledger.run_cost_arrays` cache cleared first, so
+the time includes building every cost array) and *warm* (arrays cached,
+the realistic service-tier steady state) -- and asserts the two engines
+still land on bit-identical makespans while doing it.
+
+The committed trajectory (``BENCH_sim_speed.json`` at the repo root)
+records every entry so a regression is a diff, not an anecdote.  The
+gate: every sweep point must show a >= 10x cold speedup.
+
+Run directly for more repeats::
+
+    PYTHONPATH=src python benchmarks/bench_sim_speed.py --repeats 5
+
+or through pytest (the CI smoke step)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sim_speed.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import sys
+import time
+
+from repro.machine.frontier import crusher_cluster
+from repro.perf.fastledger import run_cost_arrays
+from repro.perf.hplsim import simulate_run
+from repro.perf.ledger import PerfConfig
+from repro.perf.scaling import choose_grid, node_local_grid, scaled_n
+
+try:
+    from .conftest import write_artifact
+except ImportError:  # direct `python benchmarks/bench_sim_speed.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from conftest import write_artifact
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_sim_speed.json"
+
+#: The acceptance gate: cold fast-engine runs (cost arrays rebuilt from
+#: scratch) must beat the object engine by at least this factor on every
+#: Fig. 8 sweep point.  Measured headroom is 12-19x, so tripping this
+#: means the fast path lost its reason to exist, not merely a bad timer
+#: sample.
+SPEEDUP_FLOOR = 10.0
+
+#: Fig. 8 sweep points (node counts); 128 nodes is the paper's headline
+#: scale and this simulator's largest iteration count (5657 blocks).
+NODE_COUNTS = [1, 8, 128]
+
+
+def sweep_config(nnodes: int, n_single: int = 256_000,
+                 nb: int = 512) -> PerfConfig:
+    """The exact config ``weak_scaling`` builds for this node count."""
+    gpus = crusher_cluster(nnodes).node.gpus
+    p, q = choose_grid(nnodes * gpus)
+    pl, ql = (p, q) if nnodes == 1 else node_local_grid(p, q, gpus)
+    return PerfConfig(n=scaled_n(nnodes, n_single, nb), nb=nb,
+                      p=p, q=q, pl=pl, ql=ql)
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """(best wall seconds, last result) over ``repeats`` calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_point(nnodes: int, repeats: int = 3) -> dict:
+    """Time both engines on one Fig. 8 sweep point."""
+    cfg = sweep_config(nnodes)
+    cluster = crusher_cluster(nnodes)
+
+    full_s, full = _best_of(
+        lambda: simulate_run(cfg, cluster, fidelity="full"), max(2, repeats - 1)
+    )
+
+    def fast_cold():
+        run_cost_arrays.cache_clear()
+        return simulate_run(cfg, cluster, fidelity="fast")
+
+    cold_s, fast = _best_of(fast_cold, repeats)
+    warm_s, _ = _best_of(
+        lambda: simulate_run(cfg, cluster, fidelity="fast"), repeats
+    )
+    return {
+        "nnodes": nnodes,
+        "n": cfg.n,
+        "grid": f"{cfg.p}x{cfg.q}",
+        "iterations": cfg.nblocks,
+        "full_s": round(full_s, 6),
+        "fast_cold_s": round(cold_s, 6),
+        "fast_warm_s": round(warm_s, 6),
+        "speedup_cold": round(full_s / cold_s, 2),
+        "speedup_warm": round(full_s / warm_s, 2),
+        "makespan_equal": fast.makespan == full.makespan,
+        "score_equal": fast.score_tflops == full.score_tflops,
+    }
+
+
+def run_all(repeats: int = 3) -> dict:
+    return {
+        "t": time.time(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "points": [run_point(nnodes, repeats) for nnodes in NODE_COUNTS],
+    }
+
+
+def append_trajectory(entry: dict, path: pathlib.Path = TRAJECTORY) -> list:
+    """Append one benchmark entry to the committed trajectory file."""
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    return history
+
+
+def check_entry(entry: dict) -> None:
+    """The claims every trajectory entry must satisfy."""
+    points = entry["points"]
+    assert [pt["nnodes"] for pt in points] == NODE_COUNTS
+    for pt in points:
+        name = f"{pt['nnodes']}-node"
+        assert pt["makespan_equal"], \
+            f"{name}: fast and full engines disagree on makespan"
+        assert pt["score_equal"], \
+            f"{name}: fast and full engines disagree on the score"
+        assert pt["speedup_cold"] >= SPEEDUP_FLOOR, \
+            f"{name}: cold speedup {pt['speedup_cold']}x below the" \
+            f" {SPEEDUP_FLOOR}x floor ({pt['full_s']}s full vs" \
+            f" {pt['fast_cold_s']}s fast)"
+        assert pt["speedup_warm"] >= pt["speedup_cold"] * 0.9, \
+            f"{name}: warm runs slower than cold -- memoization broken?" \
+            f" ({pt['speedup_warm']}x warm vs {pt['speedup_cold']}x cold)"
+
+
+def test_sim_speed_trajectory():
+    """CI smoke: time the sweep points, gate >= 10x, append trajectory."""
+    entry = run_all(repeats=3)
+    check_entry(entry)
+    append_trajectory(entry)
+    write_artifact("sim_speed.json", json.dumps(entry, indent=1,
+                                                sort_keys=True))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="simulator-speed benchmark")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats per engine (best-of)")
+    parser.add_argument("--no-append", action="store_true",
+                        help="print the entry without touching the"
+                             " trajectory file")
+    args = parser.parse_args()
+    entry = run_all(repeats=args.repeats)
+    check_entry(entry)
+    if not args.no_append:
+        append_trajectory(entry)
+        write_artifact("sim_speed.json", json.dumps(entry, indent=1,
+                                                    sort_keys=True))
+    for pt in entry["points"]:
+        print(f"{pt['nnodes']:>4} node(s) N={pt['n']:>8}"
+              f" ({pt['iterations']} iters): full {pt['full_s']*1e3:8.1f} ms,"
+              f" fast cold {pt['fast_cold_s']*1e3:7.2f} ms"
+              f" ({pt['speedup_cold']}x), warm {pt['fast_warm_s']*1e3:7.2f} ms"
+              f" ({pt['speedup_warm']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

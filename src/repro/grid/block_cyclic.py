@@ -61,6 +61,32 @@ def numroc(n: int, nb: int, iproc: int, nprocs: int) -> int:
     return num_local_before(n, nb, iproc, nprocs)
 
 
+def num_local_before_array(g, nb: int, iproc, nprocs: int) -> np.ndarray:
+    """Vectorized :func:`num_local_before` over ``g`` and/or ``iproc``.
+
+    Pure int64 arithmetic, so the result is exactly the scalar function
+    applied elementwise (the fast ledger computes every iteration's local
+    extents in one shot through this).
+    """
+    _check(nb, nprocs)
+    g = np.asarray(g, dtype=np.int64)
+    iproc = np.asarray(iproc, dtype=np.int64)
+    if np.any(g < 0):
+        raise ValueError("global indices must be >= 0")
+    if np.any(iproc < 0) or np.any(iproc >= nprocs):
+        raise ValueError(f"iproc outside [0, {nprocs})")
+    block, offset = np.divmod(g, nb)
+    nfull = np.where(block > iproc, (block - iproc - 1) // nprocs + 1, 0)
+    return nfull * nb + np.where(block % nprocs == iproc, offset, 0)
+
+
+def numroc_array(n, nb: int, iproc, nprocs: int) -> np.ndarray:
+    """Vectorized :func:`numroc` over ``n`` and/or ``iproc``."""
+    if np.any(np.asarray(n) < 0):
+        raise ValueError("n must be >= 0")
+    return num_local_before_array(n, nb, iproc, nprocs)
+
+
 def global_to_local(g: int, nb: int, nprocs: int) -> tuple[int, int]:
     """Map a global index to ``(owning process, local index)``."""
     _check(nb, nprocs)

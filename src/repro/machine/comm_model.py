@@ -18,9 +18,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import BcastVariant
 from ..errors import ConfigError
 from .spec import ClusterSpec, LinkSpec
+
+
+def _link_seconds_array(link: LinkSpec, nbytes: np.ndarray) -> np.ndarray:
+    """Elementwise :meth:`LinkSpec.seconds`, identical IEEE op order."""
+    return link.latency_s + nbytes / (link.bandwidth_gbs * 1e9)
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,22 @@ class CommModel:
                 break
         self._worst_cache[key] = worst
         return worst
+
+    # Public cached accessors (the fast ledger prices whole runs through
+    # these, pulling each membership's link structure exactly once).
+    def ring_link(self, members: list[tuple[int, int]]) -> LinkSpec:
+        """Cached worst neighbour-to-neighbour ring link for ``members``."""
+        return self._ring_link(members)
+
+    def worst_link(self, members: list[tuple[int, int]]) -> LinkSpec:
+        """Cached worst pairwise link among ``members``."""
+        return self._worst_link(members)
+
+    def peer_split(
+        self, root: tuple[int, int], members: list[tuple[int, int]]
+    ) -> tuple[int, int]:
+        """Cached (on-node, off-node) peer counts from ``root``."""
+        return self._peer_split(root, members)
 
     # ------------------------------------------------------------------
     # Collectives
@@ -231,3 +254,104 @@ class CommModel:
     ) -> float:
         """One point-to-point message."""
         return self.link(a, b).seconds(nbytes)
+
+    # ------------------------------------------------------------------
+    # Batch collectives: one membership, an array of payloads.
+    #
+    # Each mirrors its scalar twin's IEEE operation sequence element for
+    # element (same guards, same association), so the vectorized ledger
+    # prices a whole run bit-for-bit like the per-iteration loop while
+    # resolving the membership's link structure only once.
+    # ------------------------------------------------------------------
+    def bcast_seconds_array(
+        self,
+        members: list[tuple[int, int]],
+        nbytes: np.ndarray,
+        algo: BcastVariant,
+    ) -> np.ndarray:
+        """Batch :meth:`bcast_seconds` for one membership."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        k = len(members)
+        if k <= 1:
+            return np.zeros_like(nbytes)
+        active = nbytes > 0
+        ring = self._ring_link(members)
+        if algo in (
+            BcastVariant.ONE_RING,
+            BcastVariant.ONE_RING_M,
+            BcastVariant.TWO_RING,
+            BcastVariant.TWO_RING_M,
+        ):
+            out = 2.0 * _link_seconds_array(ring, nbytes)
+        elif algo is BcastVariant.BLONG:
+            chunk = nbytes / k
+            scatter = _link_seconds_array(self._worst_link(members), chunk)
+            gather = (k - 1) * _link_seconds_array(ring, chunk)
+            out = scatter + gather
+        elif algo is BcastVariant.BINOMIAL:
+            out = math.ceil(math.log2(k)) * _link_seconds_array(
+                self._worst_link(members), nbytes
+            )
+        else:
+            raise ConfigError(f"unknown bcast variant {algo}")
+        return np.where(active, out, 0.0)
+
+    def allreduce_seconds_array(
+        self,
+        members: list[tuple[int, int]],
+        nbytes: np.ndarray,
+        per_hop_overhead: float = 0.0,
+    ) -> np.ndarray:
+        """Batch :meth:`allreduce_seconds` for one membership."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        k = len(members)
+        if k <= 1:
+            return np.zeros_like(nbytes)
+        link = self._worst_link(members)
+        return math.ceil(math.log2(k)) * (
+            _link_seconds_array(link, nbytes) + per_hop_overhead
+        )
+
+    def allgatherv_seconds_array(
+        self, members: list[tuple[int, int]], total_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Batch :meth:`allgatherv_seconds` for one membership."""
+        total_bytes = np.asarray(total_bytes, dtype=np.float64)
+        k = len(members)
+        if k <= 1:
+            return np.zeros_like(total_bytes)
+        chunk = total_bytes / k
+        out = (k - 1) * _link_seconds_array(self._ring_link(members), chunk)
+        return np.where(total_bytes > 0, out, 0.0)
+
+    def binexch_allgather_seconds_array(
+        self, members: list[tuple[int, int]], total_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Batch :meth:`binexch_allgather_seconds` for one membership."""
+        total_bytes = np.asarray(total_bytes, dtype=np.float64)
+        k = len(members)
+        if k <= 1:
+            return np.zeros_like(total_bytes)
+        link = self._worst_link(members)
+        rounds = math.ceil(math.log2(k))
+        out = rounds * _link_seconds_array(link, total_bytes)
+        return np.where(total_bytes > 0, out, 0.0)
+
+    def scatterv_seconds_array(
+        self,
+        root: tuple[int, int],
+        members: list[tuple[int, int]],
+        total_bytes: np.ndarray,
+    ) -> np.ndarray:
+        """Batch :meth:`scatterv_seconds` for one membership."""
+        total_bytes = np.asarray(total_bytes, dtype=np.float64)
+        k = len(members)
+        if k <= 1:
+            return np.zeros_like(total_bytes)
+        per_peer = total_bytes / (k - 1)
+        on, off = self._peer_split(root, members)
+        node = self.cluster.node
+        out = on * _link_seconds_array(node.gpu_gpu, per_peer) + off * (
+            _link_seconds_array(node.nic, per_peer)
+        )
+        return np.where(total_bytes > 0, out, 0.0)

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..blas.kernels import flops_getrf
 from .spec import CPUSpec
 
@@ -66,6 +68,48 @@ def fact_seconds(cpu: CPUSpec, m: int, nb: int, nthreads: int) -> float:
     # Serial triangle on the main thread.
     t_tri = flops_getrf(nb, nb) / (core_rate * _TRIANGLE_EFF)
     # Per-column synchronization: pivot tree reduce + row exchange.
+    hops = math.ceil(math.log2(nthreads)) if nthreads > 1 else 0
+    t_sync = nb * (
+        cpu.col_overhead_s
+        + hops * cpu.sync_latency_s
+        + 8.0 * nb / (cpu.pivot_row_bw_gbs * 1e9)
+    )
+    return t_bulk + t_tri + t_sync
+
+
+def fact_seconds_array(
+    cpu: CPUSpec, m: np.ndarray, nb: np.ndarray, nthreads: int
+) -> np.ndarray:
+    """Batch :func:`fact_seconds` over aligned ``m``/``nb`` arrays.
+
+    Performs the identical IEEE operation sequence per element as the
+    scalar path (the only cubed quantities are integer-valued, where
+    numpy's pow fast path is exact), so the fast ledger prices FACT
+    bit-for-bit like the per-``k`` loop.  Every row must describe a
+    valid panel (``m >= nb >= 1``); callers mask out iterations with no
+    factorization before calling.
+    """
+    if nthreads < 1:
+        raise ValueError(f"nthreads must be >= 1, got {nthreads}")
+    m = np.asarray(m, dtype=np.float64)
+    nb = np.asarray(nb, dtype=np.float64)
+    if np.any(m < nb) or np.any(nb < 1):
+        raise ValueError("every row must satisfy m >= nb >= 1")
+    ntiles = np.ceil(m / nb)
+    t_eff = np.minimum(float(nthreads), ntiles)
+    core_rate = cpu.core_dgemm_gflops * 1e9
+
+    working_set = 8.0 * m * nb
+    l3 = cpu.l3_mb * 1e6
+    bw_rate = cpu.mem_bw_gbs * 1e9 * 2.0
+    compute_rate = t_eff * core_rate * _PANEL_BLAS_EFF
+    cache = np.where(
+        working_set <= l3, 1.0, np.minimum(1.0, bw_rate / compute_rate)
+    )
+
+    bulk = (m * nb * nb - nb**3 / 3.0) - (nb * nb * nb - nb**3 / 3.0)
+    t_bulk = bulk / (t_eff * core_rate * _PANEL_BLAS_EFF * cache)
+    t_tri = (nb * nb * nb - nb**3 / 3.0) / (core_rate * _TRIANGLE_EFF)
     hops = math.ceil(math.log2(nthreads)) if nthreads > 1 else 0
     t_sync = nb * (
         cpu.col_overhead_s

@@ -15,6 +15,8 @@ reaches a high percentage of peak, as small as possible for overlap").
 
 from __future__ import annotations
 
+import numpy as np
+
 from .spec import GPUSpec
 
 
@@ -58,6 +60,59 @@ def dtrsm_seconds(gpu: GPUSpec, m: int, n: int) -> float:
     if rate <= 0:
         return gpu.kernel_latency_s
     return gpu.kernel_latency_s + float(m) * m * n / rate
+
+
+def dgemm_seconds_array(
+    gpu: GPUSpec, m: np.ndarray, n: np.ndarray, k: np.ndarray
+) -> np.ndarray:
+    """Batch :func:`dgemm_seconds` over aligned extent arrays.
+
+    Element-for-element this performs the identical IEEE operation
+    sequence as the scalar path, so the fast ledger prices every
+    iteration's DGEMM bit-for-bit like the per-``k`` loop does; the
+    efficiency curve is evaluated once over the whole iteration axis
+    instead of per call.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    mask = np.minimum(np.minimum(m, n), k) > 0
+    eff = (
+        gpu.gemm_eff_max
+        * (k / (k + gpu.gemm_k_half))
+        * (np.minimum(m, n) / (np.minimum(m, n) + gpu.gemm_mn_half))
+    )
+    rate = gpu.peak_fp64_matrix_tflops * eff * 1e12
+    rate = np.where(mask, rate, 1.0)  # dummy divisor on masked lanes
+    return np.where(mask, gpu.kernel_latency_s + 2.0 * m * n * k / rate, 0.0)
+
+
+def dtrsm_seconds_array(gpu: GPUSpec, m: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Batch :func:`dtrsm_seconds`; same op order as the scalar path."""
+    m = np.asarray(m, dtype=np.float64)
+    n = np.asarray(n, dtype=np.float64)
+    mask = (m > 0) & (n > 0)
+    eff = (
+        gpu.gemm_eff_max
+        * (m / (m + gpu.gemm_k_half))
+        * (np.minimum(m, n) / (np.minimum(m, n) + gpu.gemm_mn_half))
+    )
+    rate = gpu.trsm_eff * (gpu.peak_fp64_matrix_tflops * eff) * 1e12
+    safe = np.where(mask & (rate > 0), rate, 1.0)
+    out = np.where(
+        rate > 0, gpu.kernel_latency_s + m * m * n / safe, gpu.kernel_latency_s
+    )
+    return np.where(mask, out, 0.0)
+
+
+def rowcopy_seconds_array(gpu: GPUSpec, nbytes: np.ndarray) -> np.ndarray:
+    """Batch :func:`rowcopy_seconds`; same op order as the scalar path."""
+    nbytes = np.asarray(nbytes, dtype=np.float64)
+    return np.where(
+        nbytes > 0,
+        gpu.kernel_latency_s + 2.0 * nbytes / (gpu.rowswap_bw_gbs * 1e9),
+        0.0,
+    )
 
 
 def rowcopy_seconds(gpu: GPUSpec, nbytes: float) -> float:

@@ -7,6 +7,8 @@ bands).  Pure alpha-beta over the per-device host link.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .spec import LinkSpec, NodeSpec
 
 
@@ -15,6 +17,16 @@ def transfer_seconds(link: LinkSpec, nbytes: float) -> float:
     if nbytes <= 0:
         return 0.0
     return link.seconds(nbytes)
+
+
+def transfer_seconds_array(link: LinkSpec, nbytes: np.ndarray) -> np.ndarray:
+    """Batch :func:`transfer_seconds`; same IEEE op order as the scalar path."""
+    nbytes = np.asarray(nbytes, dtype=np.float64)
+    return np.where(
+        nbytes > 0,
+        link.latency_s + nbytes / (link.bandwidth_gbs * 1e9),
+        0.0,
+    )
 
 
 def panel_roundtrip_seconds(node: NodeSpec, m_local: int, nb: int) -> float:

@@ -16,7 +16,8 @@
 * :mod:`repro.perf.report` -- rocHPL-style result printers.
 """
 
-from .ledger import PerfConfig, iteration_costs, run_costs
+from .ledger import PerfConfig, iteration_costs, preamble_costs, run_costs
+from .fastledger import run_cost_arrays
 from .hplsim import IterBreakdown, RunReport, simulate_run
 from .scaling import ScalePoint, choose_grid, weak_scaling
 from .factsim import fact_sweep
@@ -27,7 +28,9 @@ from .measured import MeasuredIteration, measured_breakdown
 __all__ = [
     "PerfConfig",
     "iteration_costs",
+    "preamble_costs",
     "run_costs",
+    "run_cost_arrays",
     "IterBreakdown",
     "RunReport",
     "simulate_run",

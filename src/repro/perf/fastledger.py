@@ -1,0 +1,198 @@
+"""Vectorized per-iteration ledger: all phase costs in one shot.
+
+The scalar ledger (:mod:`repro.perf.ledger`) re-derives block-cyclic
+index math and machine-model formulas once per iteration -- thousands of
+Python calls per simulated run.  This module computes the identical
+numbers as aligned numpy arrays: the block-cyclic extents come from the
+vectorized index helpers, the DGEMM efficiency curve and ``fact_seconds``
+are evaluated once over the whole iteration axis, and the comm collectives
+are priced per focal grid column (there are at most ``Q`` of them) through
+:class:`~repro.machine.comm_model.CommModel`'s cached link structure.
+
+Every batch machine-model entry point mirrors its scalar twin's IEEE
+operation order, so the resulting :class:`~repro.sched.fastpath.CostArrays`
+match ``run_costs`` **bit for bit** -- the equivalence suite asserts this
+end to end through both engines.
+
+``run_cost_arrays`` is memoized on the (frozen, hashable) config and
+cluster specs, so repeated simulations of the same point -- scaling sweeps,
+service job retries, benchmark loops -- price the run exactly once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..config import Schedule, SwapVariant
+from ..grid.block_cyclic import num_local_before_array, numroc_array
+from ..machine.comm_model import CommModel, GridTopology
+from ..machine.cpu_model import fact_seconds_array
+from ..machine.gemm_model import (
+    dgemm_seconds_array,
+    dtrsm_seconds_array,
+    rowcopy_seconds_array,
+)
+from ..machine.spec import ClusterSpec
+from ..machine.transfer_model import transfer_seconds_array
+from ..sched.fastpath import MODE_CLASSIC, MODE_LOOKAHEAD, MODE_SPLIT, CostArrays
+from .ledger import PerfConfig, preamble_costs, time_sharing_threads
+
+
+def _section_arrays(
+    cfg: PerfConfig,
+    cm: CommModel,
+    c_f: np.ndarray,
+    m_update: np.ndarray,
+    jb: np.ndarray,
+    w: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batch :func:`repro.perf.ledger._section` over the iteration axis.
+
+    Returns (gather, comm, scatter, dtrsm, dgemm) arrays.  Rows with
+    ``w <= 0`` price to zero through the models' own payload guards, just
+    as the scalar section short-circuits to an empty ``SectionCosts``.
+    """
+    gpu = cm.cluster.node.gpu
+    topo = cm.topo
+    u_bytes = 8.0 * jb * w
+    gather = rowcopy_seconds_array(gpu, u_bytes)
+    dtrsm = dtrsm_seconds_array(gpu, jb, w)
+    dgemm = dgemm_seconds_array(gpu, m_update, w, jb)
+    comm = np.zeros(len(w), dtype=np.float64)
+    wpos = np.nonzero(w > 0)[0]
+    for cc in np.unique(c_f[wpos]):
+        sel = wpos[c_f[wpos] == cc]
+        members = topo.col_members(int(cc))
+        ub = u_bytes[sel]
+        if cfg.swap is SwapVariant.BINEXCH:
+            assemble = cm.binexch_allgather_seconds_array(members, ub)
+        elif cfg.swap is SwapVariant.MIX:
+            assemble = np.where(
+                w[sel] <= cfg.swap_threshold,
+                cm.binexch_allgather_seconds_array(members, ub),
+                cm.allgatherv_seconds_array(members, ub),
+            )
+        else:
+            assemble = cm.allgatherv_seconds_array(members, ub)
+        comm[sel] = assemble + cm.scatterv_seconds_array(
+            (0, int(cc)), members, ub * (topo.p - 1) / max(topo.p, 1)
+        )
+    return gather, comm, gather, dtrsm, dgemm
+
+
+@lru_cache(maxsize=32)
+def run_cost_arrays(cfg: PerfConfig, cluster: ClusterSpec) -> CostArrays:
+    """Batch twin of :func:`repro.perf.ledger.run_costs`.
+
+    The returned :class:`CostArrays` is cached and shared -- treat it as
+    immutable.
+    """
+    n, nb, p, q = cfg.n, cfg.nb, cfg.p, cfg.q
+    nblocks = cfg.nblocks
+    topo = GridTopology(p, q, cfg.pl, cfg.ql)
+    cm = CommModel(cluster, topo)
+    node = cluster.node
+    threads = cfg.fact_threads or time_sharing_threads(node.cpu.cores, cfg.pl, cfg.ql)
+
+    # ---- the vectorized _sizes: pure int64 block-cyclic arithmetic ----
+    k = np.arange(nblocks, dtype=np.int64)
+    j0 = k * nb
+    jb = np.minimum(nb, n - j0)
+    j0n = j0 + jb
+    jb_next = np.where(j0n < n, np.minimum(nb, n - j0n), 0)
+    has_next = jb_next > 0
+    blk = np.where(has_next, k + 1, k)
+    r_f = blk % p
+    c_f = np.where(has_next, blk % q, (n // nb) % q)
+    numroc_rf = numroc_array(n, nb, r_f, p)
+    m_update = numroc_rf - num_local_before_array(j0n, nb, r_f, p)
+    j1 = np.minimum(n, j0n + jb_next)
+    m_l2 = numroc_rf - num_local_before_array(j1, nb, r_f, p)
+    m_fact = numroc_array(n - j0n, nb, 0, p)
+    nloc_aug = numroc_array(n + 1, nb, c_f, q)
+    lo = num_local_before_array(j0n, nb, c_f, q)
+    w_trail = nloc_aug - lo
+
+    zeros = np.zeros(nblocks, dtype=np.int64)
+    if cfg.schedule is Schedule.SPLIT_UPDATE:
+        n2 = np.rint(cfg.split_fraction * nloc_aug).astype(np.int64)
+        sp = np.maximum(0, (nloc_aug - n2) // nb * nb)
+        is_split = lo < sp
+        mode = np.where(is_split, MODE_SPLIT, MODE_LOOKAHEAD).astype(np.int8)
+        w_la = jb_next
+        w_left = np.where(is_split, sp - lo - w_la, w_trail - w_la)
+        w_right = np.where(is_split, nloc_aug - sp, zeros)
+    elif cfg.schedule is Schedule.LOOKAHEAD:
+        mode = np.full(nblocks, MODE_LOOKAHEAD, dtype=np.int8)
+        w_la = jb_next
+        w_left = w_trail - w_la
+        w_right = zeros
+    else:  # CLASSIC
+        mode = np.full(nblocks, MODE_CLASSIC, dtype=np.int8)
+        w_la = zeros
+        w_left = w_trail
+        w_right = zeros
+
+    # ---- FACT of panel k+1 plus its transfers and broadcast ----
+    fact = np.zeros(nblocks, dtype=np.float64)
+    lbcast = np.zeros(nblocks, dtype=np.float64)
+    d2h = np.zeros(nblocks, dtype=np.float64)
+    h2d = np.zeros(nblocks, dtype=np.float64)
+    idx = np.nonzero(has_next)[0]
+    if idx.size:
+        jbn = jb_next[idx]
+        base = fact_seconds_array(
+            node.cpu, np.maximum(m_fact, jb_next)[idx], jbn, threads
+        )
+        allred = np.empty(idx.size, dtype=np.float64)
+        for cc in np.unique(c_f[idx]):
+            sel = c_f[idx] == cc
+            allred[sel] = cm.allreduce_seconds_array(
+                topo.col_members(int(cc)),
+                2.0 * 8.0 * jbn[sel].astype(np.float64),
+                per_hop_overhead=5e-6,
+            )
+        fact[idx] = base + jbn * allred
+        panel_bytes = 8.0 * (m_l2[idx] * jbn + jbn**2 + jbn + 4)
+        lbcast[idx] = cm.bcast_seconds_array(
+            topo.row_members(0), panel_bytes, cfg.bcast
+        )
+        move = 8.0 * m_fact[idx] * jbn
+        d2h[idx] = transfer_seconds_array(node.d2h, move)
+        h2d[idx] = transfer_seconds_array(node.h2d, move)
+
+    la_g, la_c, la_sc, la_t, la_u = _section_arrays(cfg, cm, c_f, m_update, jb, w_la)
+    left = _section_arrays(cfg, cm, c_f, m_update, jb, w_left)
+    right = _section_arrays(cfg, cm, c_f, m_update, jb, w_right)
+
+    preamble = (
+        preamble_costs(cfg, cluster, cm=cm)
+        if cfg.schedule is not Schedule.CLASSIC
+        else None
+    )
+    return CostArrays(
+        k=k,
+        mode=mode,
+        fact=fact,
+        lbcast=lbcast,
+        d2h=d2h,
+        h2d=h2d,
+        la_gather=la_g,
+        la_comm=la_c,
+        la_scatter=la_sc,
+        la_dtrsm=la_t,
+        la_dgemm=la_u,
+        left_gather=left[0],
+        left_comm=left[1],
+        left_scatter=left[2],
+        left_dtrsm=left[3],
+        left_dgemm=left[4],
+        right_gather=right[0],
+        right_comm=right[1],
+        right_scatter=right[2],
+        right_dtrsm=right[3],
+        right_dgemm=right[4],
+        preamble=preamble,
+    )

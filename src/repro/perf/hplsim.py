@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ConfigError
 from ..machine.spec import ClusterSpec
 from ..sched.engine import simulate
+from ..sched.fastpath import evaluate
 from ..sched.timeline import build_run
+from .fastledger import run_cost_arrays
 from .ledger import PerfConfig, run_costs
 
 
@@ -86,8 +89,52 @@ class RunReport:
         return flops / seconds / 1e12 if seconds > 0 else 0.0
 
 
-def simulate_run(cfg: PerfConfig, cluster: ClusterSpec) -> RunReport:
-    """Simulate a full benchmark run; returns the per-iteration report."""
+def simulate_run(
+    cfg: PerfConfig, cluster: ClusterSpec, fidelity: str | None = None
+) -> RunReport:
+    """Simulate a full benchmark run; returns the per-iteration report.
+
+    ``fidelity`` overrides ``cfg.fidelity``: ``"fast"`` evaluates the
+    closed-form vectorized timeline (bit-identical report, order of
+    magnitude faster), ``"full"`` walks the per-task object engine (use
+    it when traces or per-message simmpi events are needed).
+    """
+    mode = fidelity if fidelity is not None else cfg.fidelity
+    if mode == "full":
+        return _simulate_run_full(cfg, cluster)
+    if mode != "fast":
+        raise ConfigError(f"fidelity must be 'fast' or 'full', got {mode!r}")
+    arrays = run_cost_arrays(cfg, cluster)
+    timeline = evaluate(arrays)
+    report = RunReport(
+        cfg=cfg,
+        makespan=timeline.makespan,
+        score_tflops=cfg.total_flops / timeline.makespan / 1e12,
+    )
+    prev_end = timeline.preamble_end
+    ends = timeline.end.tolist()
+    gpu = timeline.gpu_busy.tolist()
+    fact = timeline.fact_busy.tolist()
+    mpi = timeline.mpi_busy.tolist()
+    transfer = timeline.transfer_busy.tolist()
+    for i, k in enumerate(arrays.k.tolist()):
+        end = ends[i]
+        report.iterations.append(
+            IterBreakdown(
+                k=k,
+                time=end - prev_end,
+                gpu_active=gpu[i],
+                fact=fact[i],
+                mpi=mpi[i],
+                transfer=transfer[i],
+            )
+        )
+        prev_end = end
+    return report
+
+
+def _simulate_run_full(cfg: PerfConfig, cluster: ClusterSpec) -> RunReport:
+    """The seed per-task object engine (``fidelity="full"``)."""
     costs = run_costs(cfg, cluster)
     tasks = build_run(costs)
     timeline = simulate(tasks)

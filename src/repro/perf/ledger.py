@@ -45,6 +45,10 @@ class PerfConfig:
         swap_threshold: MIX's width threshold for binary exchange.
         fact_threads: Override for FACT threads per process; 0 means use
             the Section III.B time-sharing formula ``T = 1 + Cbar / pl``.
+        fidelity: Default simulator engine for this config -- ``"fast"``
+            (vectorized closed-form timeline, bit-identical reports) or
+            ``"full"`` (per-task object engine, required for traces and
+            per-message simmpi events).
     """
 
     n: int
@@ -59,11 +63,16 @@ class PerfConfig:
     swap: SwapVariant = SwapVariant.LONG
     swap_threshold: int = 64
     fact_threads: int = 0
+    fidelity: str = "fast"
 
     def __post_init__(self) -> None:
         if self.p % self.pl or self.q % self.ql:
             raise ConfigError(
                 f"node-local {self.pl}x{self.ql} does not tile {self.p}x{self.q}"
+            )
+        if self.fidelity not in ("fast", "full"):
+            raise ConfigError(
+                f"fidelity must be 'fast' or 'full', got {self.fidelity!r}"
             )
 
     @property
@@ -241,34 +250,45 @@ def iteration_costs(
     )
 
 
+def preamble_costs(
+    cfg: PerfConfig, cluster: ClusterSpec, cm: CommModel | None = None
+) -> IterCosts:
+    """FACT + LBCAST of panel 0 before iteration 0 (``k = -1`` by convention).
+
+    Shared by the scalar ledger and the vectorized fast ledger so both
+    engines price the preamble through literally the same code.
+    """
+    if cm is None:
+        cm = CommModel(cluster, GridTopology(cfg.p, cfg.q, cfg.pl, cfg.ql))
+    topo = cm.topo
+    node = cluster.node
+    threads = cfg.fact_threads or time_sharing_threads(
+        node.cpu.cores, cfg.pl, cfg.ql
+    )
+    jb = min(cfg.nb, cfg.n)
+    m_fact = numroc(cfg.n, cfg.nb, 0, cfg.p)
+    fact = fact_seconds(node.cpu, max(m_fact, jb), jb, threads)
+    fact += jb * cm.allreduce_seconds(
+        topo.col_members(0), 2.0 * 8.0 * jb, per_hop_overhead=5e-6
+    )
+    panel_bytes = 8.0 * (m_fact * jb + jb * jb + jb + 4)
+    return IterCosts(
+        k=-1,
+        mode="preamble",
+        fact=fact,
+        lbcast=cm.bcast_seconds(topo.row_members(0), panel_bytes, cfg.bcast),
+        d2h=transfer_seconds(node.d2h, 8.0 * m_fact * jb),
+        h2d=transfer_seconds(node.h2d, 8.0 * m_fact * jb),
+    )
+
+
 def run_costs(cfg: PerfConfig, cluster: ClusterSpec) -> list[IterCosts]:
     """Costs for the whole run, preamble included where the schedule needs it."""
     costs: list[IterCosts] = []
     topo = GridTopology(cfg.p, cfg.q, cfg.pl, cfg.ql)
     cm = CommModel(cluster, topo)
     if cfg.schedule is not Schedule.CLASSIC:
-        # Preamble: FACT + LBCAST of panel 0 (k = -1 by convention).
-        node = cluster.node
-        threads = cfg.fact_threads or time_sharing_threads(
-            node.cpu.cores, cfg.pl, cfg.ql
-        )
-        jb = min(cfg.nb, cfg.n)
-        m_fact = numroc(cfg.n, cfg.nb, 0, cfg.p)
-        fact = fact_seconds(node.cpu, max(m_fact, jb), jb, threads)
-        fact += jb * cm.allreduce_seconds(
-            topo.col_members(0), 2.0 * 8.0 * jb, per_hop_overhead=5e-6
-        )
-        panel_bytes = 8.0 * (m_fact * jb + jb * jb + jb + 4)
-        costs.append(
-            IterCosts(
-                k=-1,
-                mode="preamble",
-                fact=fact,
-                lbcast=cm.bcast_seconds(topo.row_members(0), panel_bytes, cfg.bcast),
-                d2h=transfer_seconds(node.d2h, 8.0 * m_fact * jb),
-                h2d=transfer_seconds(node.h2d, 8.0 * m_fact * jb),
-            )
-        )
+        costs.append(preamble_costs(cfg, cluster, cm=cm))
     for k in range(cfg.nblocks):
         costs.append(iteration_costs(cfg, cluster, k, cm=cm))
     return costs

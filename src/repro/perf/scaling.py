@@ -74,8 +74,13 @@ def weak_scaling(
     nb: int = 512,
     schedule: Schedule = Schedule.SPLIT_UPDATE,
     cluster_factory=crusher_cluster,
+    fidelity: str | None = None,
 ) -> list[ScalePoint]:
-    """Run the Fig. 8 sweep; default node counts 1, 2, 4, ..., 128."""
+    """Run the Fig. 8 sweep; default node counts 1, 2, 4, ..., 128.
+
+    ``fidelity`` selects the simulator engine per point (``"fast"`` /
+    ``"full"``); ``None`` uses each config's default.
+    """
     if node_counts is None:
         node_counts = [2**i for i in range(8)]
     points: list[ScalePoint] = []
@@ -92,7 +97,10 @@ def weak_scaling(
             n=n, nb=nb, p=p, q=q, pl=pl, ql=ql, schedule=schedule
         )
         points.append(
-            ScalePoint(nnodes=nnodes, n=n, p=p, q=q, report=simulate_run(cfg, cluster))
+            ScalePoint(
+                nnodes=nnodes, n=n, p=p, q=q,
+                report=simulate_run(cfg, cluster, fidelity=fidelity),
+            )
         )
     return points
 
@@ -103,6 +111,7 @@ def strong_scaling(
     nb: int = 512,
     schedule: Schedule = Schedule.SPLIT_UPDATE,
     cluster_factory=crusher_cluster,
+    fidelity: str | None = None,
 ) -> list[ScalePoint]:
     """Fixed-N scaling (an extension beyond the paper's weak-scaling study).
 
@@ -121,7 +130,10 @@ def strong_scaling(
         pl, ql = (p, q) if nnodes == 1 else node_local_grid(p, q, gpus)
         cfg = PerfConfig(n=n, nb=nb, p=p, q=q, pl=pl, ql=ql, schedule=schedule)
         points.append(
-            ScalePoint(nnodes=nnodes, n=n, p=p, q=q, report=simulate_run(cfg, cluster))
+            ScalePoint(
+                nnodes=nnodes, n=n, p=p, q=q,
+                report=simulate_run(cfg, cluster, fidelity=fidelity),
+            )
         )
     return points
 

@@ -10,6 +10,7 @@ iterations exactly as rocHPL issues them.
 """
 
 from .engine import Task, TimelineResult, simulate
+from .fastpath import CostArrays, FastTimeline, evaluate
 from .timeline import IterCosts, SectionCosts, build_run
 from .trace import to_chrome_trace, write_chrome_trace
 
@@ -17,6 +18,9 @@ __all__ = [
     "Task",
     "TimelineResult",
     "simulate",
+    "CostArrays",
+    "FastTimeline",
+    "evaluate",
     "IterCosts",
     "SectionCosts",
     "build_run",

@@ -94,6 +94,11 @@ def simulate(tasks: list[Task]) -> TimelineResult:
         ScheduleError: if a dependency appears after its dependent, a
             duration is negative, or a task depends on an unknown task.
     """
+    # Snapshot the submission list: the returned TimelineResult must not
+    # alias a caller-owned list, or later caller-side appends would
+    # silently skew span_of_tag/busy_in_tag through the lazy _by_tag
+    # index and leave makespan out of sync with .tasks.
+    tasks = list(tasks)
     index: dict[int, int] = {id(t): i for i, t in enumerate(tasks)}
     if len(index) != len(tasks):
         raise ScheduleError("duplicate task object in submission list")

@@ -127,11 +127,13 @@ def _sim_runner(payload: dict, job: Job) -> dict:
         swap=SwapVariant(params.get("swap", "long")),
         swap_threshold=params.get("swap_threshold", 64),
         fact_threads=params.get("fact_threads", 0),
+        fidelity=params.get("fidelity", "fast"),
     )
     nodes = (cfg.p // cfg.pl) * (cfg.q // cfg.ql)
     report = simulate_run(cfg, crusher_cluster(nodes))
     return {
         "n": cfg.n, "nb": cfg.nb, "p": cfg.p, "q": cfg.q, "nodes": nodes,
+        "fidelity": cfg.fidelity,
         "score_tflops": report.score_tflops,
         "makespan": report.makespan,
         "hidden_time_fraction": report.hidden_time_fraction,
@@ -150,6 +152,7 @@ def _scale_runner(payload: dict, job: Job) -> dict:
         n_single=payload.get("n_single", 256_000),
         nb=payload.get("nb", 512),
         schedule=Schedule(payload.get("schedule", "split")),
+        fidelity=payload.get("fidelity", "fast"),
     )[0]
     return {
         "nnodes": point.nnodes, "n": point.n, "p": point.p, "q": point.q,

@@ -150,3 +150,49 @@ class TestProperties:
         r1, r2 = simulate(tasks), simulate(clone)
         for a, b in zip(r1.tasks, r2.tasks):
             assert a.start == b.start and a.end == b.end
+
+
+class TestPurity:
+    """simulate() must not keep a live alias of the caller's list."""
+
+    def _tags(self):
+        a = Task("a", 1.0, "gpu", tag=0, phase="GPU")
+        b = Task("b", 2.0, "mpi", tag=0, phase="MPI", deps=[a])
+        c = Task("c", 3.0, "gpu", tag=1, phase="GPU", deps=[b])
+        return [a, b, c]
+
+    def test_simulate_twice_on_same_list_is_identical(self):
+        tasks = self._tags()
+        r1 = simulate(tasks)
+        first = [(t.name, t.start, t.end) for t in r1.tasks]
+        r2 = simulate(tasks)
+        assert [(t.name, t.start, t.end) for t in r2.tasks] == first
+        assert r1.makespan == r2.makespan
+        assert r1.resource_busy == r2.resource_busy
+
+    def test_result_does_not_alias_submission_list(self):
+        tasks = self._tags()
+        result = simulate(tasks)
+        assert result.tasks is not tasks
+        assert result.tasks == tasks  # same objects, snapshotted order
+
+    def test_caller_appends_do_not_skew_tag_queries(self):
+        """Regression: the lazy _by_tag index used to be built from the
+        caller's list, so growing that list after simulate() (e.g. to
+        build a longer run) corrupted span/busy queries on the old
+        result."""
+        tasks = self._tags()
+        result = simulate(tasks)
+        span0 = result.span_of_tag(0)
+        busy0 = result.busy_in_tag(0, "gpu")
+        # Caller reuses its list for a second, longer submission.
+        tasks.append(Task("late", 7.0, "gpu", tag=0, phase="GPU"))
+        assert result.span_of_tag(0) == span0
+        assert result.busy_in_tag(0, "gpu") == busy0
+        assert len(result.tasks) == 3
+
+    def test_caller_appends_do_not_skew_makespan_consistency(self):
+        tasks = self._tags()
+        result = simulate(tasks)
+        tasks.append(Task("late", 99.0, "gpu"))
+        assert result.makespan == max(t.end for t in result.tasks)
